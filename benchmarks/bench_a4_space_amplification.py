@@ -1,0 +1,45 @@
+"""§A.4 — space amplification of multi-quality dataset copies vs one PCR dataset.
+
+The paper's Progressive-GAN example: materializing a dataset at 9 resolutions
+amplified storage by up to 40x (uncompressed) or 1.5-4x (JPEG copies), while
+the PCR conversion stores a single copy.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_header
+from repro.core.convert import build_static_copies, convert_to_pcr, reference_record_bytes
+from repro.datasets.registry import CELEBAHQ_SPEC, generate_dataset
+
+N_SAMPLES = 24
+STATIC_QUALITIES = (30, 50, 70, 80, 90, 95)
+
+
+def test_a4_space_amplification(benchmark, tmp_path_factory):
+    from dataclasses import replace
+
+    spec = replace(CELEBAHQ_SPEC, n_samples=N_SAMPLES, image_size=56)
+    samples = list(generate_dataset(spec, seed=3))
+
+    def run():
+        root = tmp_path_factory.mktemp("a4")
+        reference = reference_record_bytes(samples, root / "ref", quality=90)
+        _, pcr_report = convert_to_pcr(samples, root / "pcr", images_per_record=12, quality=spec.jpeg_quality)
+        static_report = build_static_copies(samples, root / "static", qualities=STATIC_QUALITIES)
+        return reference, pcr_report, static_report
+
+    reference, pcr_report, static_report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("§A.4: space amplification of multi-quality copies vs PCR")
+    print(f"single-copy reference record: {reference:>10} bytes")
+    print(f"PCR dataset (all qualities):  {pcr_report.output_bytes:>10} bytes "
+          f"({pcr_report.space_amplification(reference):.2f}x)")
+    print(f"{len(STATIC_QUALITIES)} static JPEG copies:         {static_report.output_bytes:>10} bytes "
+          f"({static_report.space_amplification(reference):.2f}x)")
+    print("\nper-copy sizes:")
+    for name, size in static_report.per_copy_bytes.items():
+        print(f"  {name:<6}{size:>10} bytes")
+
+    # PCR stores roughly one copy; the static pipeline multiplies storage.
+    assert pcr_report.space_amplification(reference) < 1.6
+    assert static_report.space_amplification(reference) > 2.5

@@ -1,0 +1,82 @@
+"""§A.5 — decoding overhead of progressive vs baseline streams.
+
+The paper measures a 40-50% CPU overhead for decoding 10-scan progressive
+JPEGs vs baseline JPEGs; this benchmark measures the same ratio for the PCR
+codec (the absolute rates differ — this is a pure-Python codec — but the
+relative overhead is the quantity of interest).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_header
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.progressive import ProgressiveCodec
+from repro.datasets.synthetic import SyntheticImageGenerator, SyntheticImageSpec
+
+N_IMAGES = 8
+REPEATS = 3
+
+
+def _throughput(codec, streams):
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        for stream in streams:
+            codec.decode(stream)
+    elapsed = time.perf_counter() - start
+    return REPEATS * len(streams) / elapsed
+
+
+def test_a5_decode_overhead(benchmark):
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=48), seed=1
+    )
+    images = [generator.generate(i % 4, sample_seed=i) for i in range(N_IMAGES)]
+    baseline_codec = BaselineCodec(quality=90)
+    progressive_codec = ProgressiveCodec(quality=90)
+    baseline_streams = [baseline_codec.encode(image) for image in images]
+    progressive_streams = [progressive_codec.encode(image) for image in images]
+
+    def run():
+        return (
+            _throughput(baseline_codec, baseline_streams),
+            _throughput(progressive_codec, progressive_streams),
+        )
+
+    baseline_rate, progressive_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = baseline_rate / progressive_rate - 1.0
+
+    print_header("§A.5: decode throughput, baseline vs 10-scan progressive")
+    print(f"baseline:    {baseline_rate:8.1f} images/s")
+    print(f"progressive: {progressive_rate:8.1f} images/s")
+    print(f"overhead:    {overhead * 100:5.1f}%  (paper: 40-50% with libjpeg/PIL/OpenCV)")
+
+    # Progressive decoding is not dramatically more expensive; the pure-Python
+    # codec's per-scan bookkeeping keeps it within ~3x of the baseline decoder
+    # (libjpeg's measured overhead is 40-50%).
+    assert -0.2 < overhead < 3.0
+
+
+def test_a5_partial_decode_is_cheaper(benchmark):
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=48), seed=2
+    )
+    codec = ProgressiveCodec(quality=90)
+    streams = [codec.encode(generator.generate(i % 4, sample_seed=i)) for i in range(N_IMAGES)]
+
+    def decode_scan1():
+        for stream in streams:
+            codec.decode(stream, max_scans=1)
+
+    benchmark(decode_scan1)
+    # Sanity: a scan-1 decode touches far fewer coefficients than a full decode.
+    start = time.perf_counter()
+    for stream in streams:
+        codec.decode(stream, max_scans=1)
+    partial_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for stream in streams:
+        codec.decode(stream)
+    full_time = time.perf_counter() - start
+    assert partial_time < full_time

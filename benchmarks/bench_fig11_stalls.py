@@ -1,0 +1,61 @@
+"""Figure 11 — per-iteration data-stall timeline by scan group.
+
+Runs the real prefetching loader against a PCR dataset while charging each
+record read its simulated storage latency, and reports the stall fraction per
+scan group (full-quality reads stall the consumer more than scan-group-1
+reads on the same simulated device).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.storage.device import HDD_PROFILE, BlockDevice
+from repro.storage.filesystem import SimulatedFilesystem
+
+#: Inflate record sizes so the simulated HDD transfer time dominates seeks.
+INFLATION = 256
+#: Consumer compute time per record (a fast model, so the pipeline is I/O bound).
+COMPUTE_SECONDS_PER_RECORD = 0.02
+
+
+def _stall_timeline(dataset, scan_group: int, n_iterations: int = 24):
+    filesystem = SimulatedFilesystem(BlockDevice(HDD_PROFILE))
+    for name in dataset.record_names:
+        size = dataset.reader.record_index(name).total_bytes * INFLATION
+        filesystem.write_file(name, b"r" * size)
+    filesystem.device.reset_position()
+    waits = []
+    prefetched = 0.0  # seconds of data the loader is ahead by
+    for iteration in range(n_iterations):
+        name = dataset.record_names[iteration % len(dataset.record_names)]
+        length = dataset.reader.bytes_for_group(name, scan_group) * INFLATION
+        _, load_latency = filesystem.read_file(name, length=length)
+        # The loader works in parallel with compute: it had COMPUTE seconds of
+        # headroom from the previous iteration.
+        stall = max(0.0, load_latency - COMPUTE_SECONDS_PER_RECORD - prefetched)
+        prefetched = max(0.0, prefetched + COMPUTE_SECONDS_PER_RECORD - load_latency)
+        waits.append(stall)
+    return waits
+
+
+def test_fig11_data_stall_timeline(benchmark, ham_like):
+    dataset, _ = ham_like
+
+    def run():
+        return {group: _stall_timeline(dataset, group) for group in (1, 2, 5, 10)}
+
+    timelines = benchmark(run)
+
+    print_header("Figure 11: simulated data-stall time per iteration (seconds)")
+    print(f"{'group':>6}{'mean stall':>12}{'max stall':>12}{'stalled iters':>15}")
+    for group, waits in timelines.items():
+        print(
+            f"{group:>6}{np.mean(waits):>12.4f}{np.max(waits):>12.4f}"
+            f"{sum(1 for w in waits if w > 1e-4):>15}"
+        )
+
+    # Lower scan groups produce lower-magnitude stalls.
+    assert np.mean(timelines[1]) < np.mean(timelines[5]) <= np.mean(timelines[10]) + 1e-9
+    assert np.max(timelines[10]) > np.max(timelines[1])

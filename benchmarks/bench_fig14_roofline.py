@@ -1,0 +1,43 @@
+"""Figure 14 — data-intensity roofline: attainable image rate vs bytes/image."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import mean_bytes_by_group, print_header, rescale_to_paper_sizes
+from repro.simulate.roofline import RooflineModel
+from repro.simulate.trainer_sim import ClusterSpec
+
+MiB = 1024 * 1024
+
+
+def test_fig14_roofline(benchmark, imagenet_like):
+    dataset, _ = imagenet_like
+    cluster = ClusterSpec.paper_shufflenet()
+
+    def run():
+        model = RooflineModel(
+            compute_images_per_second=cluster.compute_images_per_second,
+            storage_bandwidth_bytes_per_second=cluster.storage_bandwidth_bytes_per_second,
+        )
+        sizes = rescale_to_paper_sizes(mean_bytes_by_group(dataset))
+        intensities, rates = model.sweep(1_000, 1_000_000, n_points=12)
+        placements = model.annotate_scan_groups(sizes)
+        return model, intensities, rates, placements
+
+    model, intensities, rates, placements = benchmark(run)
+
+    print_header("Figure 14: data-intensity roofline (ShuffleNet cluster)")
+    print(f"ridge point: {model.ridge_point_bytes():.0f} bytes/image "
+          f"(compute roof {model.compute_images_per_second:.0f} img/s, "
+          f"bandwidth {model.storage_bandwidth_bytes_per_second / MiB:.0f} MiB/s)")
+    print(f"\n{'bytes/image':>12}{'attainable img/s':>18}")
+    for intensity, rate in zip(intensities, rates):
+        print(f"{intensity:>12.0f}{rate:>18.0f}")
+    print(f"\n{'scan group':>11}{'bytes/image':>13}{'img/s':>9}  regime")
+    for group in sorted(placements):
+        size, rate, regime = placements[group]
+        print(f"{group:>11}{size:>13.0f}{rate:>9.0f}  {regime}")
+
+    # Full quality sits on the bandwidth slope; the smallest scan groups reach
+    # the compute roof — the knee the paper's figure illustrates.
+    assert placements[max(placements)][2] == "io-bound"
+    assert placements[1][2] == "compute-bound"

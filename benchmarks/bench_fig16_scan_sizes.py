@@ -1,0 +1,42 @@
+"""Figure 16 — bytes read per scan group for every dataset.
+
+Prints the cumulative bytes per image at each scan group (the paper's plot
+shows per-scan size; we show both the per-group increment and the cumulative
+prefix an epoch would read).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import mean_bytes_by_group, print_header
+
+
+def test_fig16_scan_group_sizes(benchmark, bench_datasets):
+    def collect():
+        per_dataset = {}
+        for name, (dataset, _) in bench_datasets.items():
+            per_dataset[name] = mean_bytes_by_group(dataset)
+        return per_dataset
+
+    sizes = benchmark(collect)
+
+    print_header("Figure 16: mean bytes per image, cumulative by scan group")
+    groups = sorted(next(iter(sizes.values())))
+    header = f"{'dataset':<12}" + "".join(f"{f'g{group}':>9}" for group in groups)
+    print(header)
+    for name, by_group in sizes.items():
+        print(f"{name:<12}" + "".join(f"{by_group[group]:>9.0f}" for group in groups))
+
+    print("\nReduction factor (full quality / scan group):")
+    for name, by_group in sizes.items():
+        full = by_group[max(by_group)]
+        print(
+            f"{name:<12}"
+            + "".join(f"{full / by_group[group]:>9.2f}" for group in groups)
+        )
+
+    for name, by_group in sizes.items():
+        ordered = [by_group[group] for group in groups]
+        assert ordered == sorted(ordered), f"{name}: cumulative sizes must be monotone"
+        # The paper reports that using all scans needs ~2-10x more bandwidth
+        # than the first couple of scans.
+        assert ordered[-1] / ordered[0] > 2.0

@@ -1,0 +1,69 @@
+"""Figure 19 — cosine similarity between scan-group gradients and true gradients.
+
+Also covers the mixture variant: drawing half the records from other scan
+groups pulls the gradient back toward the full-quality gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.training.gradients import cosine_similarity, dataset_gradient
+from repro.training.loop import Trainer
+from repro.training.models import LinearProbe
+from repro.tuning.mixture import MixturePolicy
+
+SCAN_GROUPS = (1, 2, 5, 10)
+MAX_SAMPLES = 32
+
+
+def _mixture_gradient(trainer, dataset, policy, rng, max_samples):
+    """Gradient where each record's scan group is drawn from the mixture."""
+    gradients = []
+    weights = []
+    for group in range(1, dataset.n_groups + 1):
+        probability = policy.selection_probability(group)
+        if probability < 1e-9:
+            continue
+        gradients.append(dataset_gradient(trainer, dataset, group, max_samples=max_samples))
+        weights.append(probability)
+    del rng
+    stacked = np.stack(gradients, axis=0)
+    return np.average(stacked, axis=0, weights=weights)
+
+
+def test_fig19_gradient_cosine_similarity(benchmark, ham_like):
+    dataset, spec = ham_like
+
+    def run():
+        trainer = Trainer(LinearProbe(n_classes=spec.n_classes, input_size=spec.image_size, seed=3))
+        reference = dataset_gradient(trainer, dataset, dataset.n_groups, max_samples=MAX_SAMPLES)
+        pure = {
+            group: cosine_similarity(
+                dataset_gradient(trainer, dataset, group, max_samples=MAX_SAMPLES), reference
+            )
+            for group in SCAN_GROUPS
+        }
+        rng = np.random.default_rng(0)
+        mixed_50 = {
+            group: cosine_similarity(
+                _mixture_gradient(trainer, dataset, MixturePolicy.weighted(group, 10, 10.0), rng, MAX_SAMPLES),
+                reference,
+            )
+            for group in (1, 2)
+        }
+        return pure, mixed_50
+
+    pure, mixed_50 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Figure 19: gradient cosine similarity to the full-quality gradient")
+    print(f"{'group':>6}{'no mix':>9}{'mix ~50%':>10}")
+    for group in SCAN_GROUPS:
+        mixed = mixed_50.get(group)
+        print(f"{group:>6}{pure[group]:>9.3f}{(f'{mixed:.3f}' if mixed is not None else '-'):>10}")
+
+    assert pure[10] > 0.999
+    assert pure[1] <= pure[2] + 0.05 and pure[2] <= pure[5] + 0.05
+    # Mixing in other scan groups increases tolerance to low-quality data.
+    assert mixed_50[1] >= pure[1] - 1e-6

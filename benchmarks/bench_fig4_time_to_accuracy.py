@@ -1,0 +1,121 @@
+"""Figures 4, 23, 24 — time-to-accuracy on ImageNet and CelebA-HQ (ResNet & ShuffleNet).
+
+Wall-clock per epoch comes from the calibrated cluster simulator (published
+compute/storage rates, measured per-scan-group byte sizes); the accuracy
+ceiling of each scan group comes from its measured MSSIM via the Figure 7
+relationship, with the CelebA binary task given a lower sensitivity than the
+1000-way ImageNet task (Section 4.2's observation that CelebA tolerates the
+quality loss).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import mean_bytes_by_group, print_header, rescale_to_paper_sizes
+from repro.codecs.progressive import ProgressiveCodec
+from repro.metrics.msssim import ms_ssim
+from repro.simulate.trainer_sim import ClusterSpec, TrainingSimulator, mssim_degraded_accuracy
+
+SCAN_GROUPS = (1, 2, 5, 10)
+PAPER_BASELINE_ACCURACY = {"imagenet": 0.70, "celebahq": 0.92}
+#: How strongly each task's accuracy ceiling degrades with MSSIM loss: the
+#: 1000-way ImageNet task is sensitive to missing high frequencies, the binary
+#: CelebA smile task barely notices them (Section 4.2/4.3).
+TASK_SENSITIVITY = {"imagenet": 0.6, "celebahq": 0.12}
+N_TRAIN_IMAGES = {"imagenet": 1_281_167, "celebahq": 24_000}
+N_EPOCHS = {"imagenet": 90, "celebahq": 90}
+
+
+def _group_mssim(dataset, quality, groups, sample_limit=6):
+    codec = ProgressiveCodec(quality=quality)
+    dataset.set_scan_group(dataset.n_groups)
+    streams = [sample.stream for sample in list(dataset)[:sample_limit]]
+    out = {}
+    for group in groups:
+        values = []
+        for stream in streams:
+            values.append(ms_ssim(codec.decode(stream), codec.decode(stream, max_scans=group)))
+        out[group] = sum(values) / len(values)
+    return out
+
+
+def _simulate(dataset, spec, dataset_name, cluster, n_epochs):
+    sizes = rescale_to_paper_sizes(
+        {g: mean_bytes_by_group(dataset)[g] for g in SCAN_GROUPS}
+    )
+    mssim = _group_mssim(dataset, spec.jpeg_quality, SCAN_GROUPS)
+    finals = {
+        group: mssim_degraded_accuracy(
+            PAPER_BASELINE_ACCURACY[dataset_name], mssim[group], TASK_SENSITIVITY[dataset_name]
+        )
+        for group in SCAN_GROUPS
+    }
+    simulator = TrainingSimulator(cluster, n_train_images=N_TRAIN_IMAGES[dataset_name], eval_every_epochs=5)
+    runs = simulator.compare_scan_groups(sizes, finals, n_epochs=n_epochs)
+    return runs, simulator
+
+
+def _report(title, runs, target_accuracy):
+    print_header(title)
+    print(f"{'group':>6}{'img/s':>10}{'epoch (s)':>12}{'final acc':>11}{'t@target (s)':>14}")
+    baseline_time = runs[10].time_to_accuracy(target_accuracy)
+    for group in sorted(runs):
+        run = runs[group]
+        reach = run.time_to_accuracy(target_accuracy)
+        print(
+            f"{group:>6}{run.images_per_second:>10.0f}{run.epoch_seconds:>12.1f}"
+            f"{run.final_accuracy:>11.3f}{(reach if reach else float('nan')):>14.1f}"
+        )
+    reach_5 = runs[5].time_to_accuracy(target_accuracy)
+    if baseline_time and reach_5:
+        print(f"\nspeedup of scan group 5 over baseline at {target_accuracy:.0%} target: "
+              f"{baseline_time / reach_5:.2f}x")
+    return baseline_time
+
+
+def test_fig4_imagenet_and_celeba_time_to_accuracy(benchmark, imagenet_like, celeba_like):
+    def run_all():
+        results = {}
+        for model_name, cluster in (
+            ("resnet18", ClusterSpec.paper_resnet()),
+            ("shufflenetv2", ClusterSpec.paper_shufflenet()),
+        ):
+            for dataset_name, (dataset, spec) in (
+                ("imagenet", imagenet_like),
+                ("celebahq", celeba_like),
+            ):
+                runs, _ = _simulate(dataset, spec, dataset_name, cluster, N_EPOCHS[dataset_name])
+                results[(dataset_name, model_name)] = runs
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for (dataset_name, model_name), runs in results.items():
+        target = PAPER_BASELINE_ACCURACY[dataset_name] * 0.85
+        _report(
+            f"Figure 4/23/24: {dataset_name} + {model_name} time-to-accuracy", runs, target
+        )
+
+    # Shape checks mirroring the paper's observations.  ShuffleNet (faster,
+    # more I/O bound) must show a clear speedup; ResNet's speedup is smaller
+    # because it saturates compute sooner.
+    # ResNet saturates compute early, so its gains can be cancelled by the
+    # statistical-efficiency cost of lower scans (the paper's Observation 1:
+    # smaller models see the larger speedups); we only require it not to slow
+    # down materially.
+    minimum_speedup = {"resnet18": 0.9, "shufflenetv2": 1.3}
+    for (dataset_name, model_name), runs in results.items():
+        target = PAPER_BASELINE_ACCURACY[dataset_name] * 0.85
+        baseline_reach = runs[10].time_to_accuracy(target)
+        group5_reach = runs[5].time_to_accuracy(target)
+        assert group5_reach is not None and baseline_reach is not None
+        speedup = baseline_reach / group5_reach
+        assert speedup > minimum_speedup[model_name], (dataset_name, model_name, speedup)
+        if model_name == "shufflenetv2":
+            resnet_runs = results[(dataset_name, "resnet18")]
+            resnet_speedup = resnet_runs[10].time_to_accuracy(target) / resnet_runs[5].time_to_accuracy(target)
+            assert speedup >= resnet_speedup - 0.05
+    # ImageNet scan 1 loses noticeable accuracy; CelebA largely tolerates it.
+    imagenet_runs = results[("imagenet", "shufflenetv2")]
+    celeba_runs = results[("celebahq", "shufflenetv2")]
+    assert imagenet_runs[1].final_accuracy < 0.95 * imagenet_runs[10].final_accuracy
+    assert celeba_runs[1].final_accuracy > 0.8 * celeba_runs[10].final_accuracy

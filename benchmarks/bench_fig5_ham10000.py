@@ -1,0 +1,59 @@
+"""Figure 5 — HAM10000 time-to-accuracy (ResNet vs ShuffleNet).
+
+HAM10000 has the largest images of the four datasets and is therefore the
+most bandwidth-bound; the paper reports the biggest loader-side gains here.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import mean_bytes_by_group, print_header
+from repro.simulate.trainer_sim import ClusterSpec, TrainingSimulator, mssim_degraded_accuracy
+
+SCAN_GROUPS = (1, 2, 5, 10)
+#: HAM10000 mean image size is ~287 kB at full quality (Figure 31 examples).
+PAPER_HAM_FULL_BYTES = 250_000
+BASELINE_ACCURACY = 0.80
+N_IMAGES = 8_012 * 20  # scaled epoch count proxy so epochs take meaningful time
+
+
+def test_fig5_ham10000_time_to_accuracy(benchmark, ham_like):
+    dataset, spec = ham_like
+
+    def run():
+        measured = mean_bytes_by_group(dataset)
+        scale = PAPER_HAM_FULL_BYTES / measured[dataset.n_groups]
+        sizes = {group: measured[group] * scale for group in SCAN_GROUPS}
+        results = {}
+        for model_name, cluster, sensitivity in (
+            ("resnet18", ClusterSpec.paper_resnet(), 0.1),
+            ("shufflenetv2", ClusterSpec.paper_shufflenet(), 0.8),
+        ):
+            finals = {
+                group: mssim_degraded_accuracy(BASELINE_ACCURACY, 1.0 - 0.05 * (10 - group) / 9, sensitivity)
+                for group in SCAN_GROUPS
+            }
+            simulator = TrainingSimulator(cluster, n_train_images=N_IMAGES, eval_every_epochs=5)
+            results[model_name] = (simulator.compare_scan_groups(sizes, finals, n_epochs=150),
+                                   simulator.speedup_table(sizes))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Figure 5: HAM10000 time-to-accuracy / loader speedups")
+    for model_name, (runs, speedups) in results.items():
+        print(f"\n{model_name}:")
+        print(f"{'group':>6}{'img/s':>10}{'epoch (s)':>12}{'final acc':>11}{'speedup':>9}")
+        for group in sorted(runs):
+            run = runs[group]
+            print(
+                f"{group:>6}{run.images_per_second:>10.0f}{run.epoch_seconds:>12.1f}"
+                f"{run.final_accuracy:>11.3f}{speedups[group]:>9.2f}"
+            )
+
+    # Paper shape: ResNet tolerates low scans (flat accuracy), ShuffleNet needs
+    # at least scan 5; large HAM images mean clear speedups for lower groups.
+    resnet_runs, resnet_speedups = results["resnet18"]
+    shuffle_runs, _ = results["shufflenetv2"]
+    assert resnet_runs[1].final_accuracy > 0.95 * resnet_runs[10].final_accuracy
+    assert shuffle_runs[1].final_accuracy < shuffle_runs[5].final_accuracy
+    assert resnet_speedups[5] > 1.5

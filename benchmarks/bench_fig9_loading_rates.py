@@ -1,0 +1,57 @@
+"""Figure 9 — training image rates per dataset, scan group, and model.
+
+Applies the pipeline bound min(compute rate, bandwidth / bytes-per-image)
+using measured per-group sizes rescaled to each dataset's published image
+sizes, for both the ResNet and ShuffleNet cluster configurations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import mean_bytes_by_group, print_header
+from repro.simulate.trainer_sim import ClusterSpec, TrainingSimulator
+
+SCAN_GROUPS = (1, 2, 5, 10)
+#: Approximate full-quality mean image sizes (bytes) from §A.4 / Figure 31.
+PAPER_FULL_BYTES = {"imagenet": 110_000, "celebahq": 85_000, "ham10000": 250_000, "cars": 95_000}
+#: In-memory (cached, decoded) rates from §4.6 / §A.5.
+IN_MEMORY_RATES = {"resnet18": 4240.0, "shufflenetv2": 7180.0}
+
+
+def test_fig9_image_loading_rates(benchmark, bench_datasets):
+    def run():
+        results = {}
+        for model_name, cluster in (
+            ("resnet18", ClusterSpec.paper_resnet()),
+            ("shufflenetv2", ClusterSpec.paper_shufflenet()),
+        ):
+            simulator = TrainingSimulator(cluster, n_train_images=1)
+            for dataset_name, (dataset, _) in bench_datasets.items():
+                measured = mean_bytes_by_group(dataset)
+                scale = PAPER_FULL_BYTES[dataset_name] / measured[dataset.n_groups]
+                rates = {
+                    group: simulator.images_per_second(measured[group] * scale)
+                    for group in SCAN_GROUPS
+                }
+                results[(model_name, dataset_name)] = rates
+        return results
+
+    results = benchmark(run)
+
+    for model_name in ("resnet18", "shufflenetv2"):
+        print_header(f"Figure 9: training rates (images/s), {model_name}")
+        print(f"{'dataset':<12}" + "".join(f"{f'scan {g}':>10}" for g in SCAN_GROUPS) + f"{'RAM':>10}")
+        for dataset_name in ("imagenet", "celebahq", "ham10000", "cars"):
+            rates = results[(model_name, dataset_name)]
+            print(
+                f"{dataset_name:<12}"
+                + "".join(f"{rates[g]:>10.0f}" for g in SCAN_GROUPS)
+                + f"{IN_MEMORY_RATES[model_name]:>10.0f}"
+            )
+
+    # Observation 6: rates rise as scans are reduced; HAM10000 (largest
+    # images) is the most bandwidth bound; ShuffleNet achieves higher rates.
+    for key, rates in results.items():
+        ordered = [rates[g] for g in SCAN_GROUPS]
+        assert all(ordered[i] >= ordered[i + 1] - 1e-6 for i in range(len(ordered) - 1))
+    assert results[("shufflenetv2", "imagenet")][1] > results[("resnet18", "imagenet")][10]
+    assert results[("shufflenetv2", "ham10000")][10] < results[("shufflenetv2", "imagenet")][10]

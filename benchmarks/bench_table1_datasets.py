@@ -1,0 +1,50 @@
+"""Table 1 — dataset and record statistics.
+
+Prints the reproduction datasets' record counts, image counts, sizes, JPEG
+quality, and class counts alongside the paper's published values.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_header
+from repro.datasets.registry import PAPER_DATASET_STATISTICS
+
+
+def test_table1_dataset_statistics(benchmark, bench_datasets):
+    def collect():
+        rows = []
+        for name, (dataset, spec) in bench_datasets.items():
+            total_bytes = sum(
+                dataset.reader.record_index(record).total_bytes
+                for record in dataset.record_names
+            )
+            rows.append(
+                {
+                    "dataset": spec.paper_name,
+                    "records": len(dataset.record_names),
+                    "images": len(dataset),
+                    "bytes": total_bytes,
+                    "jpeg_quality": spec.jpeg_quality,
+                    "classes": spec.n_classes,
+                }
+            )
+        return rows
+
+    rows = benchmark(collect)
+
+    print_header("Table 1: PCR dataset size and record count information")
+    print(f"{'dataset':<16}{'records':>9}{'images':>9}{'size (KiB)':>12}{'quality':>9}{'classes':>9}")
+    for row in rows:
+        print(
+            f"{row['dataset']:<16}{row['records']:>9}{row['images']:>9}"
+            f"{row['bytes'] / 1024:>12.1f}{row['jpeg_quality']:>9}{row['classes']:>9}"
+        )
+    print("\nPaper (full-scale) reference values:")
+    print(f"{'dataset':<16}{'records':>9}{'images':>10}{'size':>10}{'quality':>9}{'classes':>9}")
+    for name, stats in PAPER_DATASET_STATISTICS.items():
+        print(
+            f"{name:<16}{stats['record_count']:>9}{stats['image_count']:>10}"
+            f"{stats['dataset_size']:>10}{stats['jpeg_quality']:>9}{stats['classes']:>9}"
+        )
+
+    assert all(row["records"] >= 1 and row["images"] > 0 for row in rows)

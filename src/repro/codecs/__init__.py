@@ -1,0 +1,34 @@
+"""JPEG-style image codec substrate.
+
+The paper relies on libjpeg/jpegtran to produce progressive JPEG files whose
+scans can be regrouped into PCR scan groups.  This package provides an
+equivalent, self-contained codec:
+
+* :mod:`repro.codecs.color` — RGB/YCbCr conversion and chroma subsampling.
+* :mod:`repro.codecs.dct` — orthonormal 8x8 DCT and inverse.
+* :mod:`repro.codecs.quantization` — IJG-style quality-scaled quantization.
+* :mod:`repro.codecs.zigzag` — zigzag coefficient ordering.
+* :mod:`repro.codecs.bitio` / :mod:`repro.codecs.huffman` /
+  :mod:`repro.codecs.rle` — entropy coding (run-length symbols + canonical
+  Huffman codes).
+* :mod:`repro.codecs.baseline` — sequential, single-scan encoding.
+* :mod:`repro.codecs.progressive` — spectral-selection progressive encoding
+  (default 10 scans), partially decodable.
+* :mod:`repro.codecs.transcode` — lossless baseline-to-progressive transcode
+  (the ``jpegtran`` role in the paper).
+"""
+
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.image import ImageBuffer
+from repro.codecs.progressive import ProgressiveCodec, ScanScript
+from repro.codecs.quantization import QuantizationTables
+from repro.codecs.transcode import transcode_to_progressive
+
+__all__ = [
+    "BaselineCodec",
+    "ImageBuffer",
+    "ProgressiveCodec",
+    "QuantizationTables",
+    "ScanScript",
+    "transcode_to_progressive",
+]

@@ -1,0 +1,82 @@
+"""Bit-level writer and reader used by the entropy coder."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._n_bits = 0
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        """Append the lowest ``n_bits`` of ``value`` (MSB first)."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if n_bits == 0:
+            return
+        if value < 0 or value >= (1 << n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        for shift in range(n_bits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            self._current = (self._current << 1) | bit
+            self._n_bits += 1
+            if self._n_bits == 8:
+                self._buffer.append(self._current)
+                self._current = 0
+                self._n_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        self.write_bits(bit & 1, 1)
+
+    def getvalue(self) -> bytes:
+        """Return the accumulated bytes, padding the final byte with 1s.
+
+        Padding with 1 bits mirrors JPEG; a decoder that knows the symbol
+        count never consumes padding as data.
+        """
+        data = bytes(self._buffer)
+        if self._n_bits:
+            pad = 8 - self._n_bits
+            last = (self._current << pad) | ((1 << pad) - 1)
+            data += bytes([last])
+        return data
+
+    def __len__(self) -> int:
+        return len(self._buffer) + (1 if self._n_bits else 0)
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._byte_pos = 0
+        self._bit_pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True if no complete bit remains."""
+        return self._byte_pos >= len(self._data)
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises ``EOFError`` when the stream ends."""
+        if self._byte_pos >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._byte_pos]
+        bit = (byte >> (7 - self._bit_pos)) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bits(self, n_bits: int) -> int:
+        """Read ``n_bits`` bits MSB-first and return them as an integer."""
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.read_bit()
+        return value

@@ -1,0 +1,52 @@
+"""Splitting channels into 8x8 blocks and merging them back.
+
+JPEG operates on 8x8 pixel blocks.  Channels whose dimensions are not
+multiples of 8 are padded by edge replication (matching libjpeg behaviour);
+the original dimensions are carried in the frame header so the decoder can
+crop the padding away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK_SIZE = 8
+
+
+def pad_to_block_multiple(channel: np.ndarray) -> np.ndarray:
+    """Pad a 2-D channel with edge replication to a multiple of 8."""
+    channel = np.asarray(channel, dtype=np.float64)
+    h, w = channel.shape
+    pad_h = (-h) % BLOCK_SIZE
+    pad_w = (-w) % BLOCK_SIZE
+    if pad_h == 0 and pad_w == 0:
+        return channel
+    return np.pad(channel, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def split_into_blocks(channel: np.ndarray) -> np.ndarray:
+    """Split a 2-D channel into an array of 8x8 blocks.
+
+    Returns an array of shape ``(n_blocks_v, n_blocks_h, 8, 8)``.  The input
+    is padded to a block multiple first.
+    """
+    padded = pad_to_block_multiple(channel)
+    h, w = padded.shape
+    nv, nh = h // BLOCK_SIZE, w // BLOCK_SIZE
+    blocks = padded.reshape(nv, BLOCK_SIZE, nh, BLOCK_SIZE).swapaxes(1, 2)
+    return np.ascontiguousarray(blocks)
+
+
+def merge_blocks(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Merge an ``(nv, nh, 8, 8)`` block array into an ``(height, width)`` channel."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    nv, nh = blocks.shape[:2]
+    merged = blocks.swapaxes(1, 2).reshape(nv * BLOCK_SIZE, nh * BLOCK_SIZE)
+    return merged[:height, :width]
+
+
+def block_grid_shape(height: int, width: int) -> tuple[int, int]:
+    """Return ``(n_blocks_v, n_blocks_h)`` for a channel of the given size."""
+    nv = (height + BLOCK_SIZE - 1) // BLOCK_SIZE
+    nh = (width + BLOCK_SIZE - 1) // BLOCK_SIZE
+    return nv, nh

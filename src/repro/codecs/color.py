@@ -1,0 +1,66 @@
+"""Colour-space conversion and chroma subsampling.
+
+JPEG converts RGB input to YCbCr and typically stores chroma at half
+resolution (4:2:0).  The PCR codec does the same so that chroma scans carry
+fewer bytes than luma scans, which is what produces the "scan sizes cluster"
+behaviour described in the paper (Section 4.4, Figure 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ITU-R BT.601 coefficients, as used by JFIF.
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` RGB array (any float/int) to YCbCr floats.
+
+    Output channels are Y in ``[0, 255]`` and Cb/Cr centred at 128.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) array, got shape {rgb.shape}")
+    ycc = rgb @ _RGB_TO_YCBCR.T
+    ycc[..., 1] += 128.0
+    ycc[..., 2] += 128.0
+    return ycc
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Convert a YCbCr float array back to RGB floats (not clipped)."""
+    ycc = np.asarray(ycc, dtype=np.float64).copy()
+    if ycc.ndim != 3 or ycc.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) array, got shape {ycc.shape}")
+    ycc[..., 1] -= 128.0
+    ycc[..., 2] -= 128.0
+    return ycc @ _YCBCR_TO_RGB.T
+
+
+def subsample_420(channel: np.ndarray) -> np.ndarray:
+    """Downsample a chroma channel by 2x in each dimension (box filter).
+
+    Odd dimensions are handled by edge replication before averaging, which is
+    how libjpeg treats partial sampling blocks.
+    """
+    channel = np.asarray(channel, dtype=np.float64)
+    h, w = channel.shape
+    padded = np.pad(channel, ((0, h % 2), (0, w % 2)), mode="edge")
+    ph, pw = padded.shape
+    blocks = padded.reshape(ph // 2, 2, pw // 2, 2)
+    return blocks.mean(axis=(1, 3))
+
+
+def upsample_420(channel: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
+    """Nearest-neighbour upsample of a subsampled chroma channel."""
+    channel = np.asarray(channel, dtype=np.float64)
+    up = np.repeat(np.repeat(channel, 2, axis=0), 2, axis=1)
+    return up[:out_height, :out_width]

@@ -1,0 +1,38 @@
+"""Two-dimensional DCT-II / DCT-III for 8x8 blocks.
+
+Uses the orthonormal variant so that forward followed by inverse is the
+identity (up to floating point error), and coefficient magnitudes match the
+conventional JPEG quantization tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.codecs.blocks import BLOCK_SIZE
+
+
+def forward_dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Apply the 2-D DCT-II to every 8x8 block of an ``(..., 8, 8)`` array.
+
+    The pixel values are level-shifted by 128 first, as in JPEG.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    _check_block_shape(blocks)
+    return dctn(blocks - 128.0, type=2, norm="ortho", axes=(-2, -1))
+
+
+def inverse_dct_blocks(coeffs: np.ndarray) -> np.ndarray:
+    """Apply the 2-D inverse DCT (DCT-III) and undo the level shift."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    _check_block_shape(coeffs)
+    return idctn(coeffs, type=2, norm="ortho", axes=(-2, -1)) + 128.0
+
+
+def _check_block_shape(array: np.ndarray) -> None:
+    if array.shape[-2:] != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(
+            f"expected trailing dimensions ({BLOCK_SIZE}, {BLOCK_SIZE}), "
+            f"got shape {array.shape}"
+        )

@@ -1,0 +1,143 @@
+"""Canonical Huffman coding with serializable tables.
+
+Each scan in the PCR codec carries an optimized Huffman table for its symbol
+alphabet (mirroring ``jpegtran -optimize``).  Tables are serialized in
+canonical form: a list of code lengths followed by the symbols ordered by
+(length, symbol value), which is the same structure as a JPEG DHT segment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.codecs.bitio import BitReader, BitWriter
+
+MAX_CODE_LENGTH = 16
+
+
+@dataclass
+class HuffmanTable:
+    """A canonical Huffman code over integer symbols in ``[0, 255]``."""
+
+    code_lengths: dict[int, int]
+    _encode_map: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
+    _decode_map: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._build_codes()
+
+    def _build_codes(self) -> None:
+        ordered = sorted(self.code_lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        code = 0
+        previous_length = 0
+        self._encode_map.clear()
+        self._decode_map.clear()
+        for symbol, length in ordered:
+            code <<= length - previous_length
+            previous_length = length
+            self._encode_map[symbol] = (code, length)
+            self._decode_map[(code, length)] = symbol
+            code += 1
+
+    @classmethod
+    def from_symbols(cls, symbols: list[int]) -> "HuffmanTable":
+        """Build an optimal (length-limited) code from observed symbols."""
+        if not symbols:
+            # A table still needs at least one symbol to be serializable.
+            return cls(code_lengths={0: 1})
+        counts = Counter(symbols)
+        if len(counts) == 1:
+            only = next(iter(counts))
+            return cls(code_lengths={only: 1})
+        lengths = _package_merge_lengths(counts, MAX_CODE_LENGTH)
+        return cls(code_lengths=lengths)
+
+    def encode_symbol(self, symbol: int, writer: BitWriter) -> None:
+        """Write the code for ``symbol`` to ``writer``."""
+        try:
+            code, length = self._encode_map[symbol]
+        except KeyError as exc:
+            raise KeyError(f"symbol {symbol} not present in Huffman table") from exc
+        writer.write_bits(code, length)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read one symbol from ``reader``."""
+        code = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._decode_map.get((code, length))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code in bit stream")
+
+    def code_length(self, symbol: int) -> int:
+        """Return the code length of ``symbol`` in bits."""
+        return self.code_lengths[symbol]
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a DHT-style segment: 16 length counts + symbols."""
+        by_length: dict[int, list[int]] = {}
+        for symbol, length in self.code_lengths.items():
+            by_length.setdefault(length, []).append(symbol)
+        counts = bytes(
+            len(by_length.get(length, [])) for length in range(1, MAX_CODE_LENGTH + 1)
+        )
+        symbols = bytearray()
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            symbols.extend(sorted(by_length.get(length, [])))
+        return struct.pack("<H", len(symbols)) + counts + bytes(symbols)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> tuple["HuffmanTable", int]:
+        """Deserialize a table; returns ``(table, bytes_consumed)``."""
+        if len(payload) < 2 + MAX_CODE_LENGTH:
+            raise ValueError("Huffman table payload too short")
+        (n_symbols,) = struct.unpack("<H", payload[:2])
+        counts = payload[2 : 2 + MAX_CODE_LENGTH]
+        symbols_start = 2 + MAX_CODE_LENGTH
+        symbols_end = symbols_start + n_symbols
+        if len(payload) < symbols_end:
+            raise ValueError("Huffman table payload truncated")
+        symbols = payload[symbols_start:symbols_end]
+        code_lengths: dict[int, int] = {}
+        cursor = 0
+        for length_minus_one, count in enumerate(counts):
+            for _ in range(count):
+                code_lengths[symbols[cursor]] = length_minus_one + 1
+                cursor += 1
+        return cls(code_lengths=code_lengths), symbols_end
+
+
+def _package_merge_lengths(counts: Counter, max_length: int) -> dict[int, int]:
+    """Compute length-limited Huffman code lengths.
+
+    Uses plain Huffman construction and, in the rare case the resulting code
+    exceeds ``max_length`` (possible only with extremely skewed counts),
+    flattens the deepest levels by re-running with damped frequencies.
+    """
+    lengths = _plain_huffman_lengths(counts)
+    damping = 1
+    while max(lengths.values()) > max_length:
+        damping *= 2
+        damped = Counter({s: (c + damping - 1) // damping + 1 for s, c in counts.items()})
+        lengths = _plain_huffman_lengths(damped)
+    return lengths
+
+
+def _plain_huffman_lengths(counts: Counter) -> dict[int, int]:
+    heap: list[tuple[int, int, list[int]]] = []
+    for tie_break, (symbol, count) in enumerate(sorted(counts.items())):
+        heapq.heappush(heap, (count, tie_break, [symbol]))
+    lengths = dict.fromkeys(counts, 0)
+    next_tie = len(counts)
+    while len(heap) > 1:
+        count_a, _, symbols_a = heapq.heappop(heap)
+        count_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a + symbols_b:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (count_a + count_b, next_tie, symbols_a + symbols_b))
+        next_tie += 1
+    return lengths

@@ -1,0 +1,44 @@
+"""Zigzag ordering of 8x8 DCT coefficient blocks.
+
+The zigzag order places low-frequency coefficients first, which is what makes
+spectral-selection progressive scans meaningful: scan band ``[ss, se]`` covers
+a contiguous range of zigzag indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.blocks import BLOCK_SIZE
+
+
+def _build_zigzag_order(n: int = BLOCK_SIZE) -> np.ndarray:
+    """Return flat indices of an ``n x n`` block in zigzag order."""
+    order = sorted(
+        ((i, j) for i in range(n) for j in range(n)),
+        key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]),
+    )
+    return np.array([i * n + j for i, j in order], dtype=np.int64)
+
+
+ZIGZAG_ORDER = _build_zigzag_order()
+INVERSE_ZIGZAG_ORDER = np.argsort(ZIGZAG_ORDER)
+N_COEFFICIENTS = BLOCK_SIZE * BLOCK_SIZE
+
+
+def blocks_to_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 8, 8)`` blocks to ``(..., 64)`` zigzag vectors."""
+    blocks = np.asarray(blocks)
+    if blocks.shape[-2:] != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(f"expected trailing (8, 8), got {blocks.shape}")
+    flat = blocks.reshape(*blocks.shape[:-2], N_COEFFICIENTS)
+    return flat[..., ZIGZAG_ORDER]
+
+
+def zigzag_to_blocks(zigzag: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 64)`` zigzag vectors back to ``(..., 8, 8)`` blocks."""
+    zigzag = np.asarray(zigzag)
+    if zigzag.shape[-1] != N_COEFFICIENTS:
+        raise ValueError(f"expected trailing dimension 64, got {zigzag.shape}")
+    flat = zigzag[..., INVERSE_ZIGZAG_ORDER]
+    return flat.reshape(*zigzag.shape[:-1], BLOCK_SIZE, BLOCK_SIZE)

@@ -1,0 +1,140 @@
+"""Converters between formats and the conversion-cost accounting of §A.4.
+
+The paper compares two ways to prepare a dataset for multi-quality training:
+
+* the *static* approach — re-encode the dataset at several fixed JPEG
+  qualities, producing one record copy per quality (Figure 15, and the
+  Progressive-GAN example of §A.4 with its 1.5–40x space amplification); and
+* the *PCR* approach — one lossless transcode to progressive form plus a
+  single record conversion.
+
+``convert_to_pcr`` and ``build_static_copies`` implement the two pipelines
+over any iterable of samples; :class:`ConversionReport` captures the timing
+and size information Figure 15 and the space-amplification discussion plot.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.image import ImageBuffer
+from repro.codecs.progressive import ProgressiveCodec
+from repro.codecs.transcode import transcode_to_progressive
+from repro.core.scan_groups import ScanGroupPolicy
+from repro.core.writer import PCRWriter, WriteResult
+from repro.records.tfrecord import TFRecordWriter
+
+Sample = tuple[str, ImageBuffer, int]
+
+#: The static re-encoding qualities used in Figure 15.
+STATIC_QUALITIES = (50, 75, 90, 95)
+
+
+@dataclass
+class ConversionReport:
+    """Timing and size accounting for one conversion pipeline."""
+
+    approach: str
+    jpeg_conversion_seconds: float = 0.0
+    record_creation_seconds: float = 0.0
+    output_bytes: int = 0
+    n_copies: int = 1
+    per_copy_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total conversion time (JPEG conversion + record creation)."""
+        return self.jpeg_conversion_seconds + self.record_creation_seconds
+
+    def space_amplification(self, reference_bytes: int) -> float:
+        """Output size relative to a single-copy reference dataset."""
+        if reference_bytes <= 0:
+            raise ValueError("reference_bytes must be positive")
+        return self.output_bytes / reference_bytes
+
+
+def convert_to_pcr(
+    samples: Iterable[Sample],
+    output_dir: str | Path,
+    images_per_record: int = 64,
+    quality: int = 90,
+    policy: ScanGroupPolicy | None = None,
+    backend: str = "sqlite",
+) -> tuple[WriteResult, ConversionReport]:
+    """Encode samples once into a PCR dataset, timing each stage.
+
+    Stage 1 (the ``jpegtran`` role) encodes every image to a baseline stream
+    and losslessly transcodes it to progressive form; stage 2 groups scans
+    and writes the ``.pcr`` records.
+    """
+    baseline_codec = BaselineCodec(quality=quality)
+    report = ConversionReport(approach="pcr")
+
+    progressive_streams: list[tuple[str, bytes, int]] = []
+    start = time.perf_counter()
+    for key, image, label in samples:
+        baseline_bytes = baseline_codec.encode(image)
+        progressive_streams.append((key, transcode_to_progressive(baseline_bytes), label))
+    report.jpeg_conversion_seconds = time.perf_counter() - start
+
+    writer = PCRWriter(
+        output_dir,
+        images_per_record=images_per_record,
+        codec=ProgressiveCodec(quality=quality),
+        policy=policy,
+        backend=backend,
+    )
+    start = time.perf_counter()
+    result = writer.write_dataset(progressive_streams)
+    report.record_creation_seconds = time.perf_counter() - start
+    report.output_bytes = result.total_bytes
+    report.per_copy_bytes["pcr"] = result.total_bytes
+    return result, report
+
+
+def build_static_copies(
+    samples: Iterable[Sample],
+    output_dir: str | Path,
+    qualities: tuple[int, ...] = STATIC_QUALITIES,
+) -> ConversionReport:
+    """Re-encode the dataset at several static qualities (the baseline pipeline).
+
+    Each quality level produces its own TFRecord-style record file; the cost
+    of every level is paid, and the copies' sizes add up — the behaviour the
+    paper contrasts with a single PCR conversion.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    materialized = list(samples)
+    report = ConversionReport(approach="static", n_copies=len(qualities))
+
+    for quality in qualities:
+        codec = BaselineCodec(quality=quality)
+        start = time.perf_counter()
+        encoded = [(key, codec.encode(image), label) for key, image, label in materialized]
+        report.jpeg_conversion_seconds += time.perf_counter() - start
+
+        record_path = output_dir / f"static-q{quality}.tfrecord"
+        start = time.perf_counter()
+        writer = TFRecordWriter(record_path, quality=quality)
+        writer.write_dataset(encoded)
+        report.record_creation_seconds += time.perf_counter() - start
+
+        copy_bytes = record_path.stat().st_size
+        report.per_copy_bytes[f"q{quality}"] = copy_bytes
+        report.output_bytes += copy_bytes
+    return report
+
+
+def reference_record_bytes(samples: Iterable[Sample], output_dir: str | Path, quality: int = 90) -> int:
+    """Size of a single-quality record copy (the space-amplification reference)."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    record_path = output_dir / "reference.tfrecord"
+    writer = TFRecordWriter(record_path, quality=quality)
+    writer.write_dataset(samples)
+    return record_path.stat().st_size

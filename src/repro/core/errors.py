@@ -1,0 +1,19 @@
+"""Exception hierarchy for the PCR format."""
+
+from __future__ import annotations
+
+
+class PCRError(Exception):
+    """Base class for every PCR-format error."""
+
+
+class PCRFormatError(PCRError):
+    """A byte stream or database entry is not a valid PCR structure."""
+
+
+class ScanGroupError(PCRError):
+    """A scan-group index is out of range or a grouping policy is invalid."""
+
+
+class MissingSampleError(PCRError, KeyError):
+    """A requested sample key is not present in the dataset."""

@@ -1,0 +1,195 @@
+"""PCR decoder: read records at a chosen scan group with sequential I/O.
+
+To decode a PCR file at quality level *k*, the reader looks the record's
+scan-group offsets up in the metadata database, reads the file prefix up to
+the end of scan group *k* in one sequential read, re-assembles each sample's
+byte stream (header prefix + its scans + EOI), and hands the streams to the
+codec (Section 3.2, "Decoding").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.codecs.image import ImageBuffer
+from repro.codecs.markers import EOI
+from repro.codecs.progressive import ProgressiveCodec
+from repro.core.errors import MissingSampleError, PCRError, ScanGroupError
+from repro.core.index import RecordIndex, parse_record_prefix
+from repro.core.metadata import SampleMetadata
+from repro.core.writer import (
+    DATASET_META_KEY,
+    METADATA_DB_NAME,
+    RECORD_KEY_PREFIX,
+    SAMPLE_KEY_PREFIX,
+)
+from repro.kvstore.interface import LSM_BACKEND, SQLITE_BACKEND, open_store
+
+
+@dataclass(frozen=True)
+class PCRSample:
+    """One decoded (or still-encoded) sample returned by the reader."""
+
+    metadata: SampleMetadata
+    stream: bytes
+    image: ImageBuffer | None = None
+
+    @property
+    def key(self) -> str:
+        return self.metadata.key
+
+    @property
+    def label(self) -> int:
+        return self.metadata.label
+
+
+@dataclass
+class ReadStats:
+    """Aggregate I/O accounting for a reader instance."""
+
+    bytes_read: int = 0
+    records_read: int = 0
+    samples_decoded: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.records_read = 0
+        self.samples_decoded = 0
+
+
+class PCRReader:
+    """Reads a PCR dataset directory produced by :class:`PCRWriter`."""
+
+    def __init__(self, directory: str | Path, decode: bool = True) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise PCRError(f"{self.directory} is not a PCR dataset directory")
+        self._store = self._open_store()
+        meta_raw = self._store.get(DATASET_META_KEY)
+        if meta_raw is None:
+            raise PCRError("metadata database has no dataset entry; was the writer finalized?")
+        self.dataset_meta = json.loads(meta_raw.decode())
+        self.n_groups: int = int(self.dataset_meta["n_groups"])
+        self.decode_by_default = decode
+        self._codec = ProgressiveCodec(quality=int(self.dataset_meta.get("quality", 90)))
+        self._indexes: dict[str, RecordIndex] = {}
+        self.stats = ReadStats()
+
+    def _open_store(self):
+        for backend in (SQLITE_BACKEND, LSM_BACKEND):
+            path = self.directory / METADATA_DB_NAME[backend]
+            if path.exists():
+                return open_store(path, backend)
+        raise PCRError(f"no metadata database found in {self.directory}")
+
+    # -- dataset structure ---------------------------------------------------
+
+    @property
+    def record_names(self) -> list[str]:
+        """Names of every record in the dataset, in write order."""
+        names = [
+            key[len(RECORD_KEY_PREFIX) :].decode()
+            for key, _ in self._store.scan(RECORD_KEY_PREFIX)
+        ]
+        return sorted(names)
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples in the dataset."""
+        return int(self.dataset_meta["n_samples"])
+
+    def record_index(self, record_name: str) -> RecordIndex:
+        """Return the offset index of one record (cached)."""
+        if record_name not in self._indexes:
+            raw = self._store.get(RECORD_KEY_PREFIX + record_name.encode())
+            if raw is None:
+                raise PCRError(f"record {record_name!r} not found in the metadata database")
+            self._indexes[record_name] = RecordIndex.from_json(raw.decode())
+        return self._indexes[record_name]
+
+    def bytes_for_group(self, record_name: str, scan_group: int) -> int:
+        """Bytes a reader must fetch to get ``record_name`` at ``scan_group``."""
+        return self.record_index(record_name).bytes_for_group(scan_group)
+
+    def dataset_bytes_for_group(self, scan_group: int) -> int:
+        """Total bytes read per epoch at the given scan group."""
+        return sum(self.bytes_for_group(name, scan_group) for name in self.record_names)
+
+    # -- reading -------------------------------------------------------------
+
+    def read_record_bytes(self, record_name: str, scan_group: int) -> bytes:
+        """Sequentially read the record prefix up to ``scan_group``."""
+        self._validate_group(scan_group)
+        index = self.record_index(record_name)
+        length = index.bytes_for_group(scan_group)
+        path = self.directory / record_name
+        with open(path, "rb") as handle:
+            data = handle.read(length)
+        if len(data) != length:
+            raise PCRError(f"short read on {record_name}: got {len(data)} of {length} bytes")
+        self.stats.bytes_read += length
+        self.stats.records_read += 1
+        return data
+
+    def read_record(
+        self, record_name: str, scan_group: int, decode: bool | None = None
+    ) -> list[PCRSample]:
+        """Read and reassemble every sample in a record at ``scan_group``.
+
+        When ``decode`` is true the samples carry decoded
+        :class:`~repro.codecs.image.ImageBuffer` pixels; otherwise only the
+        reassembled (partial) codec streams are returned, which is what a
+        data-loading pipeline that defers decoding to worker threads uses.
+        """
+        decode = self.decode_by_default if decode is None else decode
+        data = self.read_record_bytes(record_name, scan_group)
+        parsed = parse_record_prefix(data)
+        samples: list[PCRSample] = []
+        for metadata, prefix, scans in zip(
+            parsed.samples, parsed.header_prefixes, parsed.scans_per_sample
+        ):
+            stream = prefix + b"".join(scans) + EOI
+            image = None
+            if decode:
+                image = self._codec.decode(stream)
+                self.stats.samples_decoded += 1
+            samples.append(PCRSample(metadata=metadata, stream=stream, image=image))
+        return samples
+
+    def read_sample(self, key: str, scan_group: int, decode: bool | None = None) -> PCRSample:
+        """Random access to a single sample by key.
+
+        Note that PCRs are optimized for whole-record sequential access; a
+        single-sample read still fetches the record prefix.
+        """
+        raw = self._store.get(SAMPLE_KEY_PREFIX + key.encode())
+        if raw is None:
+            raise MissingSampleError(key)
+        entry = json.loads(raw.decode())
+        samples = self.read_record(entry["record"], scan_group, decode=decode)
+        return samples[entry["position"]]
+
+    def iter_samples(
+        self, scan_group: int, decode: bool | None = None
+    ):
+        """Yield every sample in the dataset at the given scan group."""
+        for record_name in self.record_names:
+            yield from self.read_record(record_name, scan_group, decode=decode)
+
+    def close(self) -> None:
+        """Close the metadata database."""
+        self._store.close()
+
+    def __enter__(self) -> "PCRReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _validate_group(self, scan_group: int) -> None:
+        if not 1 <= scan_group <= self.n_groups:
+            raise ScanGroupError(
+                f"scan group {scan_group} out of range [1, {self.n_groups}]"
+            )

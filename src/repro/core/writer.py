@@ -1,0 +1,203 @@
+"""PCR encoder: turn images into a directory of ``.pcr`` records + metadata DB.
+
+Given a set of images, the encoder (Section 3.2) breaks each image into
+progressive scans, groups scans of the same quality across images into scan
+groups, sorts the groups by quality, and serializes them after the record's
+label metadata.  Scan-group byte offsets are stored in the metadata database
+so readers can issue exact-length partial reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.codecs.image import ImageBuffer
+from repro.codecs.markers import parse_frame_header
+from repro.codecs.progressive import ProgressiveCodec, split_scans
+from repro.core.errors import PCRError
+from repro.core.index import RecordIndex, serialize_record
+from repro.core.metadata import SampleMetadata
+from repro.core.scan_groups import ScanGroupPolicy
+from repro.kvstore.interface import LSM_BACKEND, SQLITE_BACKEND, open_store
+
+DEFAULT_IMAGES_PER_RECORD = 64
+METADATA_DB_NAME = {SQLITE_BACKEND: "metadata.db", LSM_BACKEND: "metadata.lsm"}
+RECORD_NAME_TEMPLATE = "record-{:05d}.pcr"
+
+DATASET_META_KEY = b"meta/dataset"
+RECORD_KEY_PREFIX = b"record/"
+SAMPLE_KEY_PREFIX = b"sample/"
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Summary of a completed PCR dataset write."""
+
+    directory: Path
+    n_records: int
+    n_samples: int
+    n_groups: int
+    total_bytes: int
+
+
+class PCRWriter:
+    """Writes a PCR dataset directory.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory to create the dataset in (created if missing).
+    images_per_record:
+        Number of samples batched into each ``.pcr`` record.
+    codec:
+        Progressive codec used when raw images are supplied.  Pre-encoded
+        progressive streams are accepted as-is.
+    policy:
+        Scan-group policy; its scan count must match the codec scripts.
+    backend:
+        Metadata database backend, ``"sqlite"`` or ``"lsm"``.
+    """
+
+    def __init__(
+        self,
+        output_dir: str | Path,
+        images_per_record: int = DEFAULT_IMAGES_PER_RECORD,
+        codec: ProgressiveCodec | None = None,
+        policy: ScanGroupPolicy | None = None,
+        backend: str = SQLITE_BACKEND,
+    ) -> None:
+        if images_per_record < 1:
+            raise ValueError("images_per_record must be >= 1")
+        self.output_dir = Path(output_dir)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        self.images_per_record = images_per_record
+        self.codec = codec if codec is not None else ProgressiveCodec()
+        self.policy = policy if policy is not None else ScanGroupPolicy.identity()
+        self.backend = backend
+        self._store = open_store(self.output_dir / METADATA_DB_NAME[backend], backend)
+        self._pending: list[tuple[SampleMetadata, bytes]] = []
+        self._record_indexes: list[RecordIndex] = []
+        self._n_samples = 0
+        self._total_bytes = 0
+        self._closed = False
+
+    # -- public API --------------------------------------------------------
+
+    def add_sample(
+        self,
+        key: str,
+        image: ImageBuffer | bytes,
+        label: int,
+        attributes: dict[str, float] | None = None,
+    ) -> None:
+        """Queue one sample; records are flushed when full."""
+        self._assert_open()
+        encoded = self._encode(image)
+        metadata = SampleMetadata(key=key, label=label, attributes=attributes or {})
+        self._pending.append((metadata, encoded))
+        self._n_samples += 1
+        if len(self._pending) >= self.images_per_record:
+            self._flush_record()
+
+    def write_dataset(
+        self, samples: Iterable[tuple[str, ImageBuffer | bytes, int]]
+    ) -> WriteResult:
+        """Write every ``(key, image, label)`` sample and finalize the dataset."""
+        for key, image, label in samples:
+            self.add_sample(key, image, label)
+        return self.finalize()
+
+    def finalize(self) -> WriteResult:
+        """Flush any partial record, write dataset metadata, and close the DB."""
+        self._assert_open()
+        if self._pending:
+            self._flush_record()
+        self._write_dataset_metadata()
+        self._store.close()
+        self._closed = True
+        return WriteResult(
+            directory=self.output_dir,
+            n_records=len(self._record_indexes),
+            n_samples=self._n_samples,
+            n_groups=self.policy.n_groups,
+            total_bytes=self._total_bytes,
+        )
+
+    close = finalize
+
+    def __enter__(self) -> "PCRWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if not self._closed and exc_type is None:
+            self.finalize()
+
+    # -- internals ---------------------------------------------------------
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise PCRError("writer already finalized")
+
+    def _encode(self, image: ImageBuffer | bytes) -> bytes:
+        if isinstance(image, ImageBuffer):
+            return self.codec.encode(image)
+        # Pre-encoded stream: verify it parses and has the expected scan count.
+        parse_frame_header(image)
+        return bytes(image)
+
+    def _flush_record(self) -> None:
+        record_name = RECORD_NAME_TEMPLATE.format(len(self._record_indexes))
+        samples = [metadata for metadata, _ in self._pending]
+        header_prefixes: list[bytes] = []
+        per_sample_scans: list[list[bytes]] = []
+        for _, encoded in self._pending:
+            prefix, scans = split_scans(encoded)
+            if len(scans) != self.policy.n_scans:
+                raise PCRError(
+                    f"sample has {len(scans)} scans but the scan-group policy expects "
+                    f"{self.policy.n_scans}; use a matching codec script"
+                )
+            header_prefixes.append(prefix)
+            per_sample_scans.append(scans)
+
+        grouped_scans: list[list[bytes]] = []
+        for group_index in range(1, self.policy.n_groups + 1):
+            scan_indices = self.policy.scans_in_group(group_index)
+            group_entries = [
+                b"".join(scans[scan - 1] for scan in scan_indices)
+                for scans in per_sample_scans
+            ]
+            grouped_scans.append(group_entries)
+
+        record_bytes, index = serialize_record(
+            record_name, samples, header_prefixes, grouped_scans
+        )
+        (self.output_dir / record_name).write_bytes(record_bytes)
+        self._total_bytes += len(record_bytes)
+        self._record_indexes.append(index)
+        self._store.put(RECORD_KEY_PREFIX + record_name.encode(), index.to_json().encode())
+        for position, metadata in enumerate(samples):
+            sample_entry = (
+                f'{{"record": "{record_name}", "position": {position}, '
+                f'"label": {metadata.label}}}'
+            ).encode()
+            self._store.put(SAMPLE_KEY_PREFIX + metadata.key.encode(), sample_entry)
+        self._pending.clear()
+
+    def _write_dataset_metadata(self) -> None:
+        import json
+
+        payload = {
+            "version": 1,
+            "backend": self.backend,
+            "n_records": len(self._record_indexes),
+            "n_samples": self._n_samples,
+            "n_groups": self.policy.n_groups,
+            "n_scans": self.policy.n_scans,
+            "group_boundaries": [group[-1] for group in self.policy.groups],
+            "images_per_record": self.images_per_record,
+            "quality": self.codec.quality,
+        }
+        self._store.put(DATASET_META_KEY, json.dumps(payload).encode())

@@ -1,0 +1,41 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on ImageNet ILSVRC, HAM10000, Stanford Cars, and
+CelebA-HQ-Smile.  None of these can be shipped offline, so this package
+generates synthetic datasets whose *structure* matches each original:
+image resolution, sample count (scaled), class cardinality, JPEG quality,
+and — crucially for the task-tolerance experiments — how much of the
+class-discriminative signal lives in high spatial frequencies.
+"""
+
+from repro.datasets.labels import (
+    binary_task_mapper,
+    is_corvette_mapper,
+    make_only_mapper,
+)
+from repro.datasets.registry import (
+    CARS_SPEC,
+    CELEBAHQ_SPEC,
+    HAM10000_SPEC,
+    IMAGENET_SPEC,
+    PAPER_DATASET_STATISTICS,
+    DatasetSpec,
+    all_specs,
+    generate_dataset,
+)
+from repro.datasets.synthetic import SyntheticImageGenerator
+
+__all__ = [
+    "CARS_SPEC",
+    "CELEBAHQ_SPEC",
+    "DatasetSpec",
+    "HAM10000_SPEC",
+    "IMAGENET_SPEC",
+    "PAPER_DATASET_STATISTICS",
+    "SyntheticImageGenerator",
+    "all_specs",
+    "binary_task_mapper",
+    "generate_dataset",
+    "is_corvette_mapper",
+    "make_only_mapper",
+]

@@ -1,0 +1,54 @@
+"""Label remapping for task-difficulty experiments (Section 4.3, Figures 6/29/30).
+
+The Stanford Cars experiments reuse one stored dataset under three labelings:
+
+* the original fine-grained classes (make + model + year),
+* "Make-Only" — classes grouped by manufacturer, and
+* "Is-Corvette" — a binary detection task.
+
+With PCRs the *stored* data never changes; only the label mapping applied at
+read time does.  These helpers build the corresponding mappers for the
+synthetic datasets, whose coarse group plays the role of the car make.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+LabelMapper = Callable[[int], int]
+
+
+def make_only_mapper(n_coarse_groups: int) -> LabelMapper:
+    """Map a fine-grained label to its coarse group ("car make")."""
+    if n_coarse_groups < 1:
+        raise ValueError("n_coarse_groups must be >= 1")
+
+    def mapper(label: int) -> int:
+        return label % n_coarse_groups
+
+    return mapper
+
+
+def is_corvette_mapper(n_coarse_groups: int, target_group: int = 0) -> LabelMapper:
+    """Binary detection of one coarse group (the "Is-Corvette" task)."""
+    if not 0 <= target_group < n_coarse_groups:
+        raise ValueError("target_group must be a valid coarse group index")
+
+    def mapper(label: int) -> int:
+        return 1 if (label % n_coarse_groups) == target_group else 0
+
+    return mapper
+
+
+def binary_task_mapper(positive_labels: set[int]) -> LabelMapper:
+    """Generic binary remapping (e.g. CelebA-HQ "smiling" vs "not smiling")."""
+
+    def mapper(label: int) -> int:
+        return 1 if label in positive_labels else 0
+
+    return mapper
+
+
+def n_classes_after(mapper: LabelMapper, n_original_classes: int) -> int:
+    """Number of distinct classes a mapper produces over the original labels."""
+    return len({mapper(label) for label in range(n_original_classes)})

@@ -1,0 +1,110 @@
+"""Frequency-controlled synthetic image generation.
+
+Each synthetic class is defined by two ingredients:
+
+* a *coarse* signature — a low-spatial-frequency pattern (colour gradient +
+  broad sinusoid) shared by all classes in the same coarse group; and
+* a *fine* signature — a high-spatial-frequency texture unique to the class.
+
+A classifier that only needs the coarse group (e.g. the Cars "Make-Only" or
+"Is-Corvette" tasks) can succeed from heavily compressed images, because the
+coarse signature survives early scans; distinguishing classes within a
+coarse group requires the high-frequency texture that only later scans carry.
+This reproduces the paper's central observation that harder/fine-grained
+tasks tolerate less compression (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.image import ImageBuffer
+
+
+@dataclass(frozen=True)
+class SyntheticImageSpec:
+    """Parameters controlling synthetic image appearance."""
+
+    image_size: int = 64
+    n_coarse_groups: int = 4
+    fine_signal_strength: float = 60.0
+    coarse_signal_strength: float = 80.0
+    noise_sigma: float = 8.0
+    fine_frequency: float = 14.0
+    coarse_frequency: float = 2.0
+
+
+class SyntheticImageGenerator:
+    """Generates labelled synthetic RGB images for a class taxonomy."""
+
+    def __init__(
+        self,
+        n_classes: int,
+        spec: SyntheticImageSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_classes < 1:
+            raise ValueError("n_classes must be >= 1")
+        self.n_classes = n_classes
+        self.spec = spec if spec is not None else SyntheticImageSpec()
+        self._rng = np.random.default_rng(seed)
+        # Per-class fixed random signatures so images of a class are consistent.
+        signature_rng = np.random.default_rng(seed + 1)
+        self._fine_phases = signature_rng.uniform(0, 2 * np.pi, size=(n_classes, 3))
+        self._fine_angles = signature_rng.uniform(0, np.pi, size=n_classes)
+        n_groups = self.spec.n_coarse_groups
+        self._coarse_colors = signature_rng.uniform(0.3, 0.9, size=(n_groups, 3))
+        self._coarse_phases = signature_rng.uniform(0, 2 * np.pi, size=n_groups)
+
+    def coarse_group(self, label: int) -> int:
+        """The coarse group (e.g. "car make") a class label belongs to."""
+        return label % self.spec.n_coarse_groups
+
+    def generate(self, label: int, sample_seed: int | None = None) -> ImageBuffer:
+        """Generate one image of the given class."""
+        if not 0 <= label < self.n_classes:
+            raise ValueError(f"label {label} out of range [0, {self.n_classes})")
+        spec = self.spec
+        rng = self._rng if sample_seed is None else np.random.default_rng(sample_seed)
+        size = spec.image_size
+        coordinates = np.linspace(0.0, 1.0, size)
+        xx, yy = np.meshgrid(coordinates, coordinates)
+
+        group = self.coarse_group(label)
+        group_color = self._coarse_colors[group]
+        coarse_wave = np.sin(
+            2 * np.pi * spec.coarse_frequency * (xx + yy) + self._coarse_phases[group]
+        )
+        # Small per-sample geometric jitter so samples of a class are not identical.
+        shift_x, shift_y = rng.uniform(-0.15, 0.15, size=2)
+        angle = self._fine_angles[label] + rng.normal(0, 0.05)
+        rotated = (xx - 0.5 + shift_x) * np.cos(angle) + (yy - 0.5 + shift_y) * np.sin(angle)
+
+        channels = []
+        for channel_index in range(3):
+            fine_texture = np.sin(
+                2 * np.pi * spec.fine_frequency * rotated
+                + self._fine_phases[label, channel_index]
+            )
+            base = 128.0 * group_color[channel_index]
+            channel = (
+                base
+                + spec.coarse_signal_strength * coarse_wave * group_color[channel_index]
+                + spec.fine_signal_strength * fine_texture
+                + rng.normal(0.0, spec.noise_sigma, size=(size, size))
+            )
+            channels.append(channel)
+        return ImageBuffer.from_array(np.stack(channels, axis=-1))
+
+    def generate_batch(
+        self, n_samples: int, seed: int = 0
+    ) -> list[tuple[str, ImageBuffer, int]]:
+        """Generate ``n_samples`` images with labels cycling over all classes."""
+        samples: list[tuple[str, ImageBuffer, int]] = []
+        for index in range(n_samples):
+            label = index % self.n_classes
+            image = self.generate(label, sample_seed=seed * 1_000_003 + index)
+            samples.append((f"sample-{index:06d}", image, label))
+        return samples

@@ -1,0 +1,16 @@
+"""Key-value metadata stores backing the PCR metadata database.
+
+The paper's implementation supports SQLite and RocksDB as backing databases
+for PCR metadata (Section 3.2, "Loader").  This package provides the same
+choice: a :class:`~repro.kvstore.sqlite_store.SQLiteStore` backed by the
+standard-library ``sqlite3`` module, and a pure-Python log-structured
+merge-tree store (:class:`~repro.kvstore.lsm_store.LSMStore`) standing in
+for RocksDB.  Both implement the :class:`~repro.kvstore.interface.KVStore`
+interface and are interchangeable from the PCR writer/reader's perspective.
+"""
+
+from repro.kvstore.interface import KVStore, open_store
+from repro.kvstore.lsm_store import LSMStore
+from repro.kvstore.sqlite_store import SQLiteStore
+
+__all__ = ["KVStore", "LSMStore", "SQLiteStore", "open_store"]

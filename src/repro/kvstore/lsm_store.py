@@ -1,0 +1,196 @@
+"""A small log-structured merge-tree key-value store (RocksDB stand-in).
+
+Writes go to an in-memory memtable backed by a write-ahead log; when the
+memtable exceeds a size threshold it is flushed to an immutable sorted-run
+file (an "SSTable").  Reads consult the memtable first and then the runs
+from newest to oldest.  When the number of runs exceeds a limit they are
+compacted into a single run, dropping deleted and shadowed keys.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.kvstore.interface import KVStore
+
+_TOMBSTONE = None
+_WAL_NAME = "wal.log"
+_MANIFEST_NAME = "MANIFEST.json"
+_RUN_TEMPLATE = "run-{:06d}.sst"
+
+_PUT_TAG = 1
+_DELETE_TAG = 2
+
+
+class LSMStore(KVStore):
+    """A directory-backed LSM-tree :class:`KVStore`."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        memtable_limit_bytes: int = 1 << 20,
+        max_runs_before_compaction: int = 4,
+    ) -> None:
+        self._dir = Path(path)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._memtable_limit = memtable_limit_bytes
+        self._max_runs = max_runs_before_compaction
+        self._memtable: dict[bytes, bytes | None] = {}
+        self._memtable_bytes = 0
+        self._runs: list[str] = []
+        self._next_run_id = 0
+        self._closed = False
+        self._load_manifest()
+        self._wal_path = self._dir / _WAL_NAME
+        self._replay_wal()
+        self._wal_file = open(self._wal_path, "ab")
+
+    # -- public API --------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._assert_open()
+        self._append_wal(_PUT_TAG, key, value)
+        self._memtable[key] = value
+        self._memtable_bytes += len(key) + len(value)
+        self._maybe_flush()
+
+    def get(self, key: bytes) -> bytes | None:
+        self._assert_open()
+        if key in self._memtable:
+            return self._memtable[key]
+        for run_name in reversed(self._runs):
+            entries = self._read_run(run_name)
+            if key in entries:
+                return entries[key]
+        return None
+
+    def delete(self, key: bytes) -> None:
+        self._assert_open()
+        self._append_wal(_DELETE_TAG, key, b"")
+        self._memtable[key] = _TOMBSTONE
+        self._memtable_bytes += len(key)
+        self._maybe_flush()
+
+    def scan(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        self._assert_open()
+        merged: dict[bytes, bytes | None] = {}
+        for run_name in self._runs:
+            merged.update(self._read_run(run_name))
+        merged.update(self._memtable)
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not None and key.startswith(prefix):
+                yield key, value
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_memtable()
+        self._wal_file.close()
+        self._closed = True
+
+    # -- internals ---------------------------------------------------------
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    def _append_wal(self, tag: int, key: bytes, value: bytes) -> None:
+        record = struct.pack("<BII", tag, len(key), len(value)) + key + value
+        self._wal_file.write(record)
+        self._wal_file.flush()
+
+    def _replay_wal(self) -> None:
+        if not self._wal_path.exists():
+            return
+        data = self._wal_path.read_bytes()
+        offset = 0
+        while offset + 9 <= len(data):
+            tag, key_length, value_length = struct.unpack_from("<BII", data, offset)
+            offset += 9
+            end = offset + key_length + value_length
+            if end > len(data):
+                break  # torn write at the tail; discard
+            key = data[offset : offset + key_length]
+            value = data[offset + key_length : end]
+            offset = end
+            if tag == _PUT_TAG:
+                self._memtable[key] = value
+                self._memtable_bytes += key_length + value_length
+            elif tag == _DELETE_TAG:
+                self._memtable[key] = _TOMBSTONE
+                self._memtable_bytes += key_length
+
+    def _maybe_flush(self) -> None:
+        if self._memtable_bytes >= self._memtable_limit:
+            self._flush_memtable()
+
+    def _flush_memtable(self) -> None:
+        if not self._memtable:
+            return
+        run_name = _RUN_TEMPLATE.format(self._next_run_id)
+        self._next_run_id += 1
+        self._write_run(run_name, dict(sorted(self._memtable.items())))
+        self._runs.append(run_name)
+        self._memtable.clear()
+        self._memtable_bytes = 0
+        # Truncate the WAL: its contents are now durable in the run file.
+        self._wal_file = self._reset_wal()
+        if len(self._runs) > self._max_runs:
+            self._compact()
+        self._save_manifest()
+
+    def _reset_wal(self):
+        if hasattr(self, "_wal_file") and not self._wal_file.closed:
+            self._wal_file.close()
+        self._wal_path.write_bytes(b"")
+        return open(self._wal_path, "ab")
+
+    def _write_run(self, run_name: str, entries: dict[bytes, bytes | None]) -> None:
+        parts = []
+        for key, value in entries.items():
+            is_tombstone = 1 if value is None else 0
+            payload = b"" if value is None else value
+            parts.append(struct.pack("<BII", is_tombstone, len(key), len(payload)))
+            parts.append(key)
+            parts.append(payload)
+        (self._dir / run_name).write_bytes(b"".join(parts))
+
+    def _read_run(self, run_name: str) -> dict[bytes, bytes | None]:
+        data = (self._dir / run_name).read_bytes()
+        entries: dict[bytes, bytes | None] = {}
+        offset = 0
+        while offset + 9 <= len(data):
+            is_tombstone, key_length, value_length = struct.unpack_from("<BII", data, offset)
+            offset += 9
+            key = data[offset : offset + key_length]
+            value = data[offset + key_length : offset + key_length + value_length]
+            offset += key_length + value_length
+            entries[key] = None if is_tombstone else value
+        return entries
+
+    def _compact(self) -> None:
+        merged: dict[bytes, bytes | None] = {}
+        for run_name in self._runs:
+            merged.update(self._read_run(run_name))
+        live = {k: v for k, v in sorted(merged.items()) if v is not None}
+        for run_name in self._runs:
+            (self._dir / run_name).unlink(missing_ok=True)
+        run_name = _RUN_TEMPLATE.format(self._next_run_id)
+        self._next_run_id += 1
+        self._write_run(run_name, live)
+        self._runs = [run_name]
+
+    def _save_manifest(self) -> None:
+        manifest = {"runs": self._runs, "next_run_id": self._next_run_id}
+        (self._dir / _MANIFEST_NAME).write_text(json.dumps(manifest))
+
+    def _load_manifest(self) -> None:
+        manifest_path = self._dir / _MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            self._runs = list(manifest.get("runs", []))
+            self._next_run_id = int(manifest.get("next_run_id", 0))

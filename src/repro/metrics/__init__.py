@@ -1,0 +1,14 @@
+"""Image-quality metrics used to predict compression tolerance.
+
+The paper uses MSSIM (multi-scale structural similarity, Wang et al. 2003)
+as its diagnostic for how much accuracy a scan group will cost (Section 4.4,
+Figures 7 and 17).  This package implements SSIM, MS-SSIM, PSNR/MSE, and the
+MSSIM-to-accuracy linear regression used in Figure 7.
+"""
+
+from repro.metrics.msssim import ms_ssim
+from repro.metrics.psnr import mse, psnr
+from repro.metrics.regression import LinearFit, fit_mssim_accuracy
+from repro.metrics.ssim import ssim
+
+__all__ = ["LinearFit", "fit_mssim_accuracy", "ms_ssim", "mse", "psnr", "ssim"]

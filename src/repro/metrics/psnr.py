@@ -1,0 +1,34 @@
+"""Mean-squared error and peak signal-to-noise ratio."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.codecs.image import ImageBuffer
+
+_DATA_RANGE = 255.0
+
+
+def _as_float(image: ImageBuffer | np.ndarray) -> np.ndarray:
+    if isinstance(image, ImageBuffer):
+        return image.as_float()
+    return np.asarray(image, dtype=np.float64)
+
+
+def mse(reference: ImageBuffer | np.ndarray, candidate: ImageBuffer | np.ndarray) -> float:
+    """Mean squared error between two images."""
+    x = _as_float(reference)
+    y = _as_float(candidate)
+    if x.shape != y.shape:
+        raise ValueError(f"image shapes differ: {x.shape} vs {y.shape}")
+    return float(np.mean((x - y) ** 2))
+
+
+def psnr(reference: ImageBuffer | np.ndarray, candidate: ImageBuffer | np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (infinity for identical images)."""
+    error = mse(reference, candidate)
+    if error == 0:
+        return math.inf
+    return 10.0 * math.log10(_DATA_RANGE**2 / error)

@@ -1,0 +1,129 @@
+"""Image augmentations: resize, crops, and horizontal flips.
+
+The paper's training uses the standard ImageNet recipe — resize, random crop,
+and horizontal flip — applied after decoding (Section 4.1).  These operate on
+``(H, W, C)`` or ``(H, W)`` float arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+Augmentation = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Resize:
+    """Bilinear resize to a square ``size x size`` output."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        del rng
+        return bilinear_resize(image, self.size, self.size)
+
+
+class RandomCrop:
+    """Random crop of ``size x size`` (pads by reflection if too small)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        image = _pad_to_at_least(image, self.size)
+        height, width = image.shape[:2]
+        top = int(rng.integers(0, height - self.size + 1))
+        left = int(rng.integers(0, width - self.size + 1))
+        return image[top : top + self.size, left : left + self.size]
+
+
+class CenterCrop:
+    """Deterministic centre crop of ``size x size``."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        del rng
+        image = _pad_to_at_least(image, self.size)
+        height, width = image.shape[:2]
+        top = (height - self.size) // 2
+        left = (width - self.size) // 2
+        return image[top : top + self.size, left : left + self.size]
+
+
+class HorizontalFlip:
+    """Flip left-right with the given probability."""
+
+    def __init__(self, probability: float = 0.5) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.probability:
+            return image[:, ::-1].copy()
+        return image
+
+
+class Compose:
+    """Apply a sequence of augmentations in order."""
+
+    def __init__(self, augmentations: list[Augmentation]) -> None:
+        self.augmentations = list(augmentations)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for augmentation in self.augmentations:
+            image = augmentation(image, rng)
+        return image
+
+
+def standard_training_augmentations(input_size: int, train: bool = True) -> Compose:
+    """The resize / crop / flip recipe used across the paper's experiments."""
+    resize_size = int(round(input_size * 1.15))
+    if train:
+        return Compose([Resize(resize_size), RandomCrop(input_size), HorizontalFlip()])
+    return Compose([Resize(resize_size), CenterCrop(input_size)])
+
+
+def bilinear_resize(image: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
+    """Bilinear interpolation resize for 2-D or 3-D arrays."""
+    image = np.asarray(image, dtype=np.float64)
+    in_height, in_width = image.shape[:2]
+    if in_height == out_height and in_width == out_width:
+        return image.copy()
+    row_positions = np.linspace(0, in_height - 1, out_height)
+    col_positions = np.linspace(0, in_width - 1, out_width)
+    row_floor = np.floor(row_positions).astype(int)
+    col_floor = np.floor(col_positions).astype(int)
+    row_ceil = np.minimum(row_floor + 1, in_height - 1)
+    col_ceil = np.minimum(col_floor + 1, in_width - 1)
+    row_fraction = (row_positions - row_floor)[:, None]
+    col_fraction = (col_positions - col_floor)[None, :]
+    if image.ndim == 3:
+        row_fraction = row_fraction[..., None]
+        col_fraction = col_fraction[..., None]
+
+    top_left = image[np.ix_(row_floor, col_floor)]
+    top_right = image[np.ix_(row_floor, col_ceil)]
+    bottom_left = image[np.ix_(row_ceil, col_floor)]
+    bottom_right = image[np.ix_(row_ceil, col_ceil)]
+    top = top_left * (1 - col_fraction) + top_right * col_fraction
+    bottom = bottom_left * (1 - col_fraction) + bottom_right * col_fraction
+    return top * (1 - row_fraction) + bottom * row_fraction
+
+
+def _pad_to_at_least(image: np.ndarray, size: int) -> np.ndarray:
+    height, width = image.shape[:2]
+    pad_height = max(0, size - height)
+    pad_width = max(0, size - width)
+    if pad_height == 0 and pad_width == 0:
+        return image
+    pad_spec: list[tuple[int, int]] = [(0, pad_height), (0, pad_width)]
+    if image.ndim == 3:
+        pad_spec.append((0, 0))
+    return np.pad(image, pad_spec, mode="reflect")

@@ -1,0 +1,48 @@
+"""Minibatch assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Minibatch:
+    """A batch of training inputs and labels.
+
+    ``images`` is ``(N, H, W, C)`` float32 scaled to ``[0, 1]``; ``labels``
+    is ``(N,)`` int64.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def n_classes_present(self) -> int:
+        """Number of distinct labels in the batch."""
+        return int(np.unique(self.labels).size)
+
+
+def collate(images: list[np.ndarray], labels: list[int]) -> Minibatch:
+    """Stack per-sample arrays into a :class:`Minibatch`.
+
+    Grayscale inputs gain a trailing channel axis so every batch is 4-D.
+    """
+    if len(images) != len(labels):
+        raise ValueError("images and labels must have the same length")
+    if not images:
+        raise ValueError("cannot collate an empty batch")
+    prepared = []
+    for image in images:
+        array = np.asarray(image, dtype=np.float32)
+        if array.ndim == 2:
+            array = array[..., None]
+        prepared.append(array / 255.0 if array.max() > 1.5 else array)
+    return Minibatch(
+        images=np.stack(prepared, axis=0),
+        labels=np.asarray(labels, dtype=np.int64),
+    )

@@ -1,0 +1,150 @@
+"""A prefetching data loader over a PCR dataset.
+
+The loader follows the closed-system model of §A.1: a pool of worker threads
+continuously reads the next record at the dataset's current scan group,
+decodes and augments its samples, shuffles them, and pushes minibatches into
+a bounded queue.  The consumer (the training loop) pops minibatches; whenever
+the queue is empty the consumer's wait is recorded as a data stall.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import PCRDataset
+from repro.pipeline.augment import Compose
+from repro.pipeline.batch import Minibatch, collate
+from repro.pipeline.sampler import SequentialSampler, ShuffleSampler
+from repro.pipeline.stall import StallTracker
+
+_END_OF_EPOCH = object()
+
+
+@dataclass(frozen=True)
+class LoaderConfig:
+    """Configuration of a :class:`DataLoader`."""
+
+    batch_size: int = 32
+    n_workers: int = 2
+    prefetch_batches: int = 8
+    shuffle: bool = True
+    drop_last: bool = False
+    seed: int = 0
+
+
+class DataLoader:
+    """Iterates minibatches from a :class:`~repro.core.dataset.PCRDataset`."""
+
+    def __init__(
+        self,
+        dataset: PCRDataset,
+        config: LoaderConfig | None = None,
+        augmentations: Compose | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else LoaderConfig()
+        self.augmentations = augmentations
+        self.stalls = StallTracker()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- public API -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Minibatch]:
+        return self.epoch()
+
+    def epoch(self) -> Iterator[Minibatch]:
+        """Yield the minibatches of one epoch, prefetching in background threads."""
+        record_names = self.dataset.record_names
+        sampler = (
+            ShuffleSampler(record_names, seed=int(self._rng.integers(0, 2**31)))
+            if self.config.shuffle
+            else SequentialSampler(record_names)
+        )
+        work_queue: queue.Queue = queue.Queue()
+        for record_name in sampler:
+            work_queue.put(record_name)
+        n_workers = max(1, self.config.n_workers)
+        output_queue: queue.Queue = queue.Queue(maxsize=max(1, self.config.prefetch_batches))
+        workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(work_queue, output_queue, self.config.seed + worker_index),
+                daemon=True,
+            )
+            for worker_index in range(n_workers)
+        ]
+        for worker in workers:
+            worker.start()
+
+        finished_workers = 0
+        leftovers: list[tuple[np.ndarray, int]] = []
+        while finished_workers < n_workers:
+            wait_start = time.perf_counter()
+            item = output_queue.get()
+            self.stalls.record_wait(time.perf_counter() - wait_start)
+            if item is _END_OF_EPOCH:
+                finished_workers += 1
+                continue
+            if isinstance(item, BaseException):
+                for worker in workers:
+                    worker.join(timeout=1.0)
+                raise item
+            images, labels = item
+            leftovers.extend(zip(images, labels))
+            while len(leftovers) >= self.config.batch_size:
+                chunk = leftovers[: self.config.batch_size]
+                leftovers = leftovers[self.config.batch_size :]
+                yield collate([image for image, _ in chunk], [label for _, label in chunk])
+        if leftovers and not self.config.drop_last:
+            yield collate([image for image, _ in leftovers], [label for _, label in leftovers])
+        for worker in workers:
+            worker.join(timeout=5.0)
+
+    def batches_per_epoch(self) -> int:
+        """Number of minibatches one epoch produces."""
+        n_samples = len(self.dataset)
+        full, remainder = divmod(n_samples, self.config.batch_size)
+        if remainder and not self.config.drop_last:
+            return full + 1
+        return full
+
+    # -- internals ----------------------------------------------------------------
+
+    def _worker_loop(
+        self, work_queue: queue.Queue, output_queue: queue.Queue, seed: int
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        while True:
+            try:
+                record_name = work_queue.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                images, labels = self._load_record(record_name, rng)
+                output_queue.put((images, labels))
+            except Exception as error:  # surfaced to the consumer, which re-raises
+                output_queue.put(error)
+                break
+        output_queue.put(_END_OF_EPOCH)
+
+    def _load_record(
+        self, record_name: str, rng: np.random.Generator
+    ) -> tuple[list[np.ndarray], list[int]]:
+        samples = self.dataset.read_record(record_name, decode=True)
+        order = rng.permutation(len(samples))
+        images: list[np.ndarray] = []
+        labels: list[int] = []
+        for index in order:
+            sample = samples[index]
+            array = sample.image.as_float()
+            if self.augmentations is not None:
+                array = self.augmentations(array, rng)
+            images.append(array)
+            labels.append(sample.label)
+        return images, labels

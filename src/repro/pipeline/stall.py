@@ -1,0 +1,51 @@
+"""Data-stall tracking (Figure 11, §A.1).
+
+A *data stall* is time the training loop spends waiting for the next
+minibatch because the prefetching loader has not produced one yet.  The
+tracker records per-iteration wait times so the stall timeline and aggregate
+stall fraction can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StallTracker:
+    """Accumulates per-iteration data-wait times."""
+
+    wait_seconds: list[float] = field(default_factory=list)
+    compute_seconds: list[float] = field(default_factory=list)
+
+    def record_wait(self, seconds: float) -> None:
+        """Record the time spent waiting for one minibatch."""
+        self.wait_seconds.append(seconds)
+
+    def record_compute(self, seconds: float) -> None:
+        """Record the time spent computing on one minibatch."""
+        self.compute_seconds.append(seconds)
+
+    @property
+    def total_wait(self) -> float:
+        """Total stall time."""
+        return sum(self.wait_seconds)
+
+    @property
+    def total_compute(self) -> float:
+        """Total compute time."""
+        return sum(self.compute_seconds)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of wall time spent stalled on data."""
+        total = self.total_wait + self.total_compute
+        return self.total_wait / total if total else 0.0
+
+    def stalled_iterations(self, threshold_seconds: float = 1e-3) -> int:
+        """Number of iterations whose wait exceeded ``threshold_seconds``."""
+        return sum(1 for wait in self.wait_seconds if wait > threshold_seconds)
+
+    def timeline(self) -> list[tuple[int, float]]:
+        """Per-iteration ``(iteration, wait_seconds)`` pairs (Figure 11 series)."""
+        return list(enumerate(self.wait_seconds))

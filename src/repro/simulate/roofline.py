@@ -1,0 +1,54 @@
+"""The data-intensity roofline of Figure 14.
+
+The paper adapts the Roofline model: instead of plotting compute intensity,
+the x-axis is *bytes per image* (the data intensity a scan group induces) and
+the attainable image rate is the minimum of the compute roof and the
+bandwidth-limited slope ``W / bytes-per-image``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A compute roof plus a storage-bandwidth slope."""
+
+    compute_images_per_second: float
+    storage_bandwidth_bytes_per_second: float
+
+    def attainable_rate(self, bytes_per_image: float | np.ndarray) -> np.ndarray:
+        """Attainable images/second at a given data intensity."""
+        bytes_per_image = np.asarray(bytes_per_image, dtype=np.float64)
+        bandwidth_rate = self.storage_bandwidth_bytes_per_second / bytes_per_image
+        return np.minimum(self.compute_images_per_second, bandwidth_rate)
+
+    def ridge_point_bytes(self) -> float:
+        """Bytes/image at which the pipeline transitions from I/O to compute bound."""
+        return self.storage_bandwidth_bytes_per_second / self.compute_images_per_second
+
+    def sweep(
+        self, min_bytes: float, max_bytes: float, n_points: int = 64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A log-spaced sweep of data intensity and the attainable rate."""
+        intensities = np.logspace(np.log10(min_bytes), np.log10(max_bytes), n_points)
+        return intensities, self.attainable_rate(intensities)
+
+    def annotate_scan_groups(
+        self, scan_mean_bytes: dict[int, float]
+    ) -> dict[int, tuple[float, float, str]]:
+        """Place scan groups on the roofline.
+
+        Returns ``{scan: (bytes_per_image, attainable_rate, regime)}`` where
+        regime is ``"io-bound"`` or ``"compute-bound"``.
+        """
+        ridge = self.ridge_point_bytes()
+        placements: dict[int, tuple[float, float, str]] = {}
+        for scan, mean_bytes in scan_mean_bytes.items():
+            rate = float(self.attainable_rate(mean_bytes))
+            regime = "io-bound" if mean_bytes > ridge else "compute-bound"
+            placements[scan] = (mean_bytes, rate, regime)
+        return placements

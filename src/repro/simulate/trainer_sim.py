@@ -1,0 +1,209 @@
+"""Cluster-scale time-to-accuracy simulation (Figures 4, 5, 6, 9).
+
+Training ImageNet-scale models is out of reach for a pure-Python offline
+reproduction, so the wall-clock side of the end-to-end figures is produced
+by a calibrated simulator:
+
+* the *rate* of each configuration comes from the queueing model of
+  Appendix A.2 — ``min(compute rate, storage bandwidth / mean bytes per
+  image)`` — using the paper's published cluster numbers (10 workers, one
+  TitanX each, 405 img/s for ResNet-18 and 760 img/s for ShuffleNetv2,
+  400+ MiB/s of aggregate storage bandwidth);
+* the *statistical efficiency* of each scan group (accuracy per epoch) comes
+  either from a measured accuracy curve (trained with
+  :mod:`repro.training` on a synthetic dataset) or from a parametric
+  saturating curve whose final accuracy is degraded according to the scan
+  group's MSSIM, following the Figure 7 regression.
+
+The simulator therefore reproduces the *shape* of the paper's results — who
+wins, by what factor, and where the gains saturate — rather than absolute
+ImageNet accuracy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulate.throughput import PipelineModel
+
+MiB = 1024 * 1024
+
+#: Published per-GPU training rates (images/second, mixed precision).
+RESNET18_IMAGES_PER_SECOND = 445.0
+SHUFFLENETV2_IMAGES_PER_SECOND = 750.0
+
+AccuracyCurve = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The paper's training cluster (§A.3), parameterized."""
+
+    n_workers: int = 10
+    per_worker_images_per_second: float = RESNET18_IMAGES_PER_SECOND
+    storage_bandwidth_bytes_per_second: float = 400 * MiB
+    images_per_record: int = 1024
+    record_setup_seconds: float = 10e-3
+
+    @property
+    def compute_images_per_second(self) -> float:
+        """Aggregate compute-bound rate across workers."""
+        return self.n_workers * self.per_worker_images_per_second
+
+    def pipeline(self) -> PipelineModel:
+        """The queueing-model view of this cluster."""
+        return PipelineModel(
+            storage_bandwidth_bytes_per_second=self.storage_bandwidth_bytes_per_second,
+            compute_images_per_second=self.compute_images_per_second,
+            images_per_record=self.images_per_record,
+            record_setup_seconds=self.record_setup_seconds,
+        )
+
+    @classmethod
+    def paper_resnet(cls) -> "ClusterSpec":
+        """The ResNet-18 configuration of the paper's cluster."""
+        return cls(per_worker_images_per_second=RESNET18_IMAGES_PER_SECOND)
+
+    @classmethod
+    def paper_shufflenet(cls) -> "ClusterSpec":
+        """The ShuffleNetv2 configuration of the paper's cluster."""
+        return cls(per_worker_images_per_second=SHUFFLENETV2_IMAGES_PER_SECOND)
+
+
+@dataclass(frozen=True)
+class SimulatedPoint:
+    """One evaluated epoch of a simulated run."""
+
+    epoch: int
+    wall_seconds: float
+    test_accuracy: float
+
+
+@dataclass
+class SimulatedRun:
+    """A simulated training run for one scan group."""
+
+    scan_group: int
+    mean_image_bytes: float
+    images_per_second: float
+    epoch_seconds: float
+    points: list[SimulatedPoint] = field(default_factory=list)
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Wall seconds until the run first reaches ``target`` accuracy."""
+        for point in self.points:
+            if point.test_accuracy >= target:
+                return point.wall_seconds
+        return None
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy at the end of the run."""
+        return self.points[-1].test_accuracy if self.points else 0.0
+
+
+def saturating_accuracy_curve(
+    final_accuracy: float, time_constant_epochs: float = 12.0, floor: float = 0.0
+) -> AccuracyCurve:
+    """An exponential-saturation accuracy-vs-epoch curve."""
+
+    def curve(epoch: int) -> float:
+        return floor + (final_accuracy - floor) * (1.0 - np.exp(-(epoch + 1) / time_constant_epochs))
+
+    return curve
+
+
+def mssim_degraded_accuracy(
+    baseline_accuracy: float, mssim: float, sensitivity: float = 1.0
+) -> float:
+    """Final accuracy predicted from MSSIM via the Figure 7 linear relationship.
+
+    A scan group with MSSIM 1.0 keeps the baseline accuracy; lower MSSIM
+    loses accuracy proportionally, scaled by ``sensitivity`` (fine-grained
+    tasks are more sensitive; coarse/binary tasks less so).
+    """
+    degradation = sensitivity * (1.0 - mssim)
+    return max(0.0, baseline_accuracy * (1.0 - degradation))
+
+
+class TrainingSimulator:
+    """Simulates time-to-accuracy runs across scan groups."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        n_train_images: int,
+        eval_every_epochs: int = 1,
+    ) -> None:
+        self.cluster = cluster
+        self.n_train_images = n_train_images
+        self.eval_every_epochs = max(1, eval_every_epochs)
+        self._pipeline = cluster.pipeline()
+
+    def epoch_seconds(self, mean_image_bytes: float) -> float:
+        """Wall time of one epoch at the given mean encoded image size."""
+        return self._pipeline.epoch_seconds(mean_image_bytes, self.n_train_images)
+
+    def images_per_second(self, mean_image_bytes: float) -> float:
+        """End-to-end image rate at the given mean encoded image size."""
+        return self._pipeline.end_to_end_rate(mean_image_bytes)
+
+    def simulate(
+        self,
+        scan_group: int,
+        mean_image_bytes: float,
+        accuracy_curve: AccuracyCurve,
+        n_epochs: int,
+    ) -> SimulatedRun:
+        """Simulate one run of ``n_epochs`` epochs for a scan group."""
+        epoch_seconds = self.epoch_seconds(mean_image_bytes)
+        run = SimulatedRun(
+            scan_group=scan_group,
+            mean_image_bytes=mean_image_bytes,
+            images_per_second=self.images_per_second(mean_image_bytes),
+            epoch_seconds=epoch_seconds,
+        )
+        for epoch in range(n_epochs):
+            if (epoch + 1) % self.eval_every_epochs == 0 or epoch == n_epochs - 1:
+                run.points.append(
+                    SimulatedPoint(
+                        epoch=epoch,
+                        wall_seconds=(epoch + 1) * epoch_seconds,
+                        test_accuracy=float(accuracy_curve(epoch)),
+                    )
+                )
+        return run
+
+    def compare_scan_groups(
+        self,
+        group_mean_bytes: dict[int, float],
+        group_final_accuracy: dict[int, float],
+        n_epochs: int,
+        time_constant_epochs: float = 12.0,
+    ) -> dict[int, SimulatedRun]:
+        """Simulate every scan group with saturating accuracy curves.
+
+        Returns a mapping scan group -> simulated run; the baseline is the
+        highest scan group present (full quality).
+        """
+        runs: dict[int, SimulatedRun] = {}
+        for group, mean_bytes in sorted(group_mean_bytes.items()):
+            curve = saturating_accuracy_curve(
+                group_final_accuracy[group], time_constant_epochs=time_constant_epochs
+            )
+            runs[group] = self.simulate(group, mean_bytes, curve, n_epochs)
+        return runs
+
+    def speedup_table(
+        self, group_mean_bytes: dict[int, float]
+    ) -> dict[int, float]:
+        """End-to-end speedup of every scan group relative to the baseline group."""
+        baseline_group = max(group_mean_bytes)
+        baseline_bytes = group_mean_bytes[baseline_group]
+        return {
+            group: self._pipeline.speedup_over(baseline_bytes, mean_bytes)
+            for group, mean_bytes in sorted(group_mean_bytes.items())
+        }

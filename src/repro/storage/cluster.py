@@ -1,0 +1,120 @@
+"""A striped multi-OSD storage cluster (the Ceph role in the paper).
+
+The paper's testbed dedicates five Object Storage Device (OSD) nodes and one
+metadata server (MDS) to storage, giving the ten training workers roughly
+400+ MiB/s of aggregate bandwidth (§A.3).  The simulated cluster stripes
+objects across OSD block devices, charges metadata lookups to the MDS, and
+reports aggregate bandwidth so the end-to-end experiments can reason about
+the compute-to-storage ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.device import HDD_PROFILE, BlockDevice, DeviceProfile
+
+DEFAULT_STRIPE_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class ObjectLocation:
+    """Placement of one stored object across the cluster."""
+
+    name: str
+    size: int
+    stripes: list[tuple[int, int, int]] = field(default_factory=list)
+    """List of ``(osd_index, offset, length)`` stripe placements."""
+
+
+class StorageCluster:
+    """A collection of OSD devices with round-robin striping and an MDS."""
+
+    def __init__(
+        self,
+        n_osds: int = 5,
+        profile: DeviceProfile = HDD_PROFILE,
+        stripe_bytes: int = DEFAULT_STRIPE_BYTES,
+        mds_lookup_seconds: float = 0.3e-3,
+        osd_capacity_bytes: int = 1 << 32,
+    ) -> None:
+        if n_osds < 1:
+            raise ValueError("a cluster needs at least one OSD")
+        self.osds = [BlockDevice(profile, capacity_bytes=osd_capacity_bytes) for _ in range(n_osds)]
+        self.stripe_bytes = stripe_bytes
+        self.mds_lookup_seconds = mds_lookup_seconds
+        self.mds_lookups = 0
+        self._objects: dict[str, ObjectLocation] = {}
+
+    # -- write path --------------------------------------------------------------
+
+    def put_object(self, name: str, data: bytes) -> ObjectLocation:
+        """Store an object, striping it across OSDs."""
+        if name in self._objects:
+            raise FileExistsError(f"object {name!r} already exists")
+        location = ObjectLocation(name=name, size=len(data))
+        osd_index = hash(name) % len(self.osds)
+        cursor = 0
+        while cursor < len(data) or not location.stripes:
+            chunk = data[cursor : cursor + self.stripe_bytes]
+            device = self.osds[osd_index]
+            offset = device.allocate(max(len(chunk), 1))
+            device.write(offset, chunk)
+            location.stripes.append((osd_index, offset, len(chunk)))
+            cursor += len(chunk)
+            osd_index = (osd_index + 1) % len(self.osds)
+        self._objects[name] = location
+        return location
+
+    # -- read path ----------------------------------------------------------------
+
+    def read_object(self, name: str, length: int | None = None) -> tuple[bytes, float]:
+        """Read an object prefix; returns (data, simulated latency).
+
+        Stripes on distinct OSDs are fetched in parallel, so the latency of a
+        multi-stripe read is the per-OSD maximum, plus one MDS lookup.
+        """
+        location = self._lookup(name)
+        read_length = location.size if length is None else min(length, location.size)
+        remaining = read_length
+        per_osd_latency: dict[int, float] = {}
+        chunks: list[bytes] = []
+        for osd_index, offset, stripe_length in location.stripes:
+            if remaining <= 0:
+                break
+            take = min(stripe_length, remaining)
+            data, latency = self.osds[osd_index].read(offset, take)
+            chunks.append(data)
+            per_osd_latency[osd_index] = per_osd_latency.get(osd_index, 0.0) + latency
+            remaining -= take
+        total_latency = self.mds_lookup_seconds + (max(per_osd_latency.values()) if per_osd_latency else 0.0)
+        return b"".join(chunks), total_latency
+
+    def object_size(self, name: str) -> int:
+        """Size of a stored object."""
+        return self._lookup(name).size
+
+    def list_objects(self) -> list[str]:
+        """Names of stored objects."""
+        return list(self._objects)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def aggregate_bandwidth_bytes_per_second(self) -> float:
+        """Peak aggregate sequential bandwidth across all OSDs."""
+        return sum(osd.profile.bandwidth_bytes_per_second for osd in self.osds)
+
+    def total_bytes_read(self) -> int:
+        """Total bytes served by all OSDs."""
+        return sum(osd.stats.bytes_read for osd in self.osds)
+
+    def total_busy_seconds(self) -> float:
+        """Total simulated busy time across OSDs."""
+        return sum(osd.stats.busy_seconds for osd in self.osds)
+
+    def _lookup(self, name: str) -> ObjectLocation:
+        self.mds_lookups += 1
+        try:
+            return self._objects[name]
+        except KeyError as exc:
+            raise FileNotFoundError(name) from exc

@@ -1,0 +1,59 @@
+"""I/O accounting shared by the simulated storage components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for operations, bytes, seeks, and simulated time."""
+
+    read_ops: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    busy_seconds: float = 0.0
+    per_op_latencies: list[float] = field(default_factory=list)
+
+    def record_read(self, n_bytes: int, latency: float, seek: bool) -> None:
+        """Account one read operation."""
+        self.read_ops += 1
+        self.bytes_read += n_bytes
+        self.busy_seconds += latency
+        self.per_op_latencies.append(latency)
+        if seek:
+            self.seeks += 1
+
+    def record_write(self, n_bytes: int, latency: float, seek: bool) -> None:
+        """Account one write operation."""
+        self.write_ops += 1
+        self.bytes_written += n_bytes
+        self.busy_seconds += latency
+        self.per_op_latencies.append(latency)
+        if seek:
+            self.seeks += 1
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean latency per operation in simulated seconds."""
+        if not self.per_op_latencies:
+            return 0.0
+        return sum(self.per_op_latencies) / len(self.per_op_latencies)
+
+    def read_throughput_bytes_per_second(self) -> float:
+        """Effective read bandwidth over the busy time."""
+        if self.busy_seconds == 0:
+            return 0.0
+        return self.bytes_read / self.busy_seconds
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.read_ops = 0
+        self.bytes_read = 0
+        self.write_ops = 0
+        self.bytes_written = 0
+        self.seeks = 0
+        self.busy_seconds = 0.0
+        self.per_op_latencies.clear()

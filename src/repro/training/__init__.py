@@ -1,0 +1,30 @@
+"""A small numpy neural-network training substrate.
+
+The paper trains ResNet-18 and ShuffleNetv2 with PyTorch; offline, this
+package provides the minimum equivalent: convolutional layers with manual
+backprop, batch normalization, residual and channel-shuffle blocks, SGD with
+momentum and the warmup/step learning-rate schedule of Section 4.1, a
+training loop with checkpoint/rollback (needed by the dynamic autotuner),
+and per-scan-group gradient extraction for the cosine-similarity analysis of
+§A.6.2.
+"""
+
+from repro.training.loop import EpochResult, Trainer, TrainingHistory
+from repro.training.losses import softmax_cross_entropy
+from repro.training.metrics import top_k_accuracy
+from repro.training.models import LinearProbe, SmallCNN, TinyResNet, TinyShuffleNet
+from repro.training.optim import SGD, WarmupStepSchedule
+
+__all__ = [
+    "EpochResult",
+    "LinearProbe",
+    "SGD",
+    "SmallCNN",
+    "TinyResNet",
+    "TinyShuffleNet",
+    "Trainer",
+    "TrainingHistory",
+    "WarmupStepSchedule",
+    "softmax_cross_entropy",
+    "top_k_accuracy",
+]

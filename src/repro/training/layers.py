@@ -1,0 +1,420 @@
+"""Neural-network layers with manual forward/backward passes.
+
+All layers operate on NCHW float64 arrays (except :class:`Linear`, which
+takes 2-D inputs).  Each layer exposes ``params`` and ``grads`` dictionaries
+keyed by parameter name so the optimizer can update them generically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base class: a differentiable module with named parameters."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def set_training(self, training: bool) -> None:
+        """Switch between training and evaluation behaviour."""
+        self.training = training
+
+    def parameter_layers(self) -> list["Layer"]:
+        """Layers (including children) that own parameters."""
+        return [self] if self.params else []
+
+
+def _im2col(inputs: np.ndarray, kernel: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW inputs into columns for convolution as matrix multiply."""
+    batch, channels, height, width = inputs.shape
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    out_height = (height + 2 * padding - kernel) // stride + 1
+    out_width = (width + 2 * padding - kernel) // stride + 1
+    strides = inputs.strides
+    shape = (batch, channels, out_height, out_width, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    columns = view.reshape(batch, channels, out_height * out_width, kernel * kernel)
+    columns = columns.transpose(0, 2, 1, 3).reshape(batch * out_height * out_width, channels * kernel * kernel)
+    return np.ascontiguousarray(columns), out_height, out_width
+
+
+def _col2im(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_height: int,
+    out_width: int,
+) -> np.ndarray:
+    """Fold column gradients back to the padded input and crop the padding."""
+    batch, channels, height, width = input_shape
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    columns = columns.reshape(batch, out_height * out_width, channels, kernel * kernel).transpose(0, 2, 1, 3)
+    columns = columns.reshape(batch, channels, out_height, out_width, kernel, kernel)
+    for kernel_row in range(kernel):
+        for kernel_col in range(kernel):
+            padded[
+                :,
+                :,
+                kernel_row : kernel_row + out_height * stride : stride,
+                kernel_col : kernel_col + out_width * stride : stride,
+            ] += columns[:, :, :, :, kernel_row, kernel_col]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.params["weight"] = rng.normal(0.0, scale, size=(out_channels, fan_in))
+        self.params["bias"] = np.zeros(out_channels)
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        columns, out_height, out_width = _im2col(inputs, self.kernel_size, self.stride, self.padding)
+        output = columns @ self.params["weight"].T + self.params["bias"]
+        batch = inputs.shape[0]
+        output = output.reshape(batch, out_height, out_width, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (inputs.shape, columns, out_height, out_width)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape, columns, out_height, out_width = self._cache
+        batch = input_shape[0]
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_height * out_width, self.out_channels)
+        self.grads["weight"] = grad_flat.T @ columns
+        self.grads["bias"] = grad_flat.sum(axis=0)
+        grad_columns = grad_flat @ self.params["weight"]
+        return _col2im(
+            grad_columns, input_shape, self.kernel_size, self.stride, self.padding, out_height, out_width
+        )
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, n_channels: int, momentum: float = 0.9, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.params["gamma"] = np.ones(n_channels)
+        self.params["beta"] = np.zeros(n_channels)
+        self.running_mean = np.zeros(n_channels)
+        self.running_var = np.ones(n_channels)
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = inputs.mean(axis=(0, 2, 3))
+            var = inputs.var(axis=(0, 2, 3))
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = mean[None, :, None, None]
+        std_b = np.sqrt(var + self.epsilon)[None, :, None, None]
+        normalized = (inputs - mean_b) / std_b
+        self._cache = (normalized, std_b)
+        return self.params["gamma"][None, :, None, None] * normalized + self.params["beta"][None, :, None, None]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        normalized, std_b = self._cache
+        self.grads["gamma"] = (grad_output * normalized).sum(axis=(0, 2, 3))
+        self.grads["beta"] = grad_output.sum(axis=(0, 2, 3))
+        n = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+        gamma = self.params["gamma"][None, :, None, None]
+        grad_normalized = grad_output * gamma
+        grad_input = (
+            grad_normalized
+            - grad_normalized.mean(axis=(0, 2, 3), keepdims=True)
+            - normalized * (grad_normalized * normalized).sum(axis=(0, 2, 3), keepdims=True) / n
+        ) / std_b
+        return grad_input
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class MaxPool2d(Layer):
+    """Max pooling with a square window (window == stride)."""
+
+    def __init__(self, window: int = 2) -> None:
+        super().__init__()
+        self.window = window
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        window = self.window
+        trimmed_h = height - height % window
+        trimmed_w = width - width % window
+        trimmed = inputs[:, :, :trimmed_h, :trimmed_w]
+        reshaped = trimmed.reshape(batch, channels, trimmed_h // window, window, trimmed_w // window, window)
+        output = reshaped.max(axis=(3, 5))
+        self._cache = (inputs.shape, trimmed.shape, reshaped, output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape, trimmed_shape, reshaped, output = self._cache
+        window = self.window
+        mask = reshaped == output[:, :, :, None, :, None]
+        grad = mask * grad_output[:, :, :, None, :, None]
+        grad = grad.reshape(trimmed_shape)
+        full = np.zeros(input_shape)
+        full[:, :, : trimmed_shape[2], : trimmed_shape[3]] = grad
+        return full
+
+
+class GlobalAveragePool(Layer):
+    """Average over spatial dimensions, producing an (N, C) output."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_output[:, :, None, None] * scale, self._shape
+        ).copy()
+
+
+class Linear(Layer):
+    """Fully connected layer on (N, D) inputs."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["weight"] = rng.normal(0.0, scale, size=(out_features, in_features))
+        self.params["bias"] = np.zeros(out_features)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._inputs = inputs
+        return inputs @ self.params["weight"].T + self.params["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self.grads["weight"] = grad_output.T @ self._inputs
+        self.grads["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"]
+
+
+class Flatten(Layer):
+    """Flatten NCHW inputs to (N, C*H*W)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._shape)
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            inputs = layer.forward(inputs)
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def set_training(self, training: bool) -> None:
+        super().set_training(training)
+        for layer in self.layers:
+            layer.set_training(training)
+
+    def parameter_layers(self) -> list[Layer]:
+        collected: list[Layer] = []
+        for layer in self.layers:
+            collected.extend(layer.parameter_layers())
+        return collected
+
+
+class ResidualBlock(Layer):
+    """A basic ResNet block: two 3x3 conv-BN pairs plus a (projected) skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, seed: int = 0) -> None:
+        super().__init__()
+        self.body = Sequential(
+            [
+                Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, seed=seed),
+                BatchNorm2d(out_channels),
+                ReLU(),
+                Conv2d(out_channels, out_channels, 3, stride=1, padding=1, seed=seed + 1),
+                BatchNorm2d(out_channels),
+            ]
+        )
+        self.needs_projection = stride != 1 or in_channels != out_channels
+        if self.needs_projection:
+            self.projection = Sequential(
+                [
+                    Conv2d(in_channels, out_channels, 1, stride=stride, padding=0, seed=seed + 2),
+                    BatchNorm2d(out_channels),
+                ]
+            )
+        self.activation = ReLU()
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        body_out = self.body.forward(inputs)
+        skip = self.projection.forward(inputs) if self.needs_projection else inputs
+        return self.activation.forward(body_out + skip)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.activation.backward(grad_output)
+        grad_body = self.body.backward(grad)
+        grad_skip = self.projection.backward(grad) if self.needs_projection else grad
+        return grad_body + grad_skip
+
+    def set_training(self, training: bool) -> None:
+        super().set_training(training)
+        self.body.set_training(training)
+        if self.needs_projection:
+            self.projection.set_training(training)
+        self.activation.set_training(training)
+
+    def parameter_layers(self) -> list[Layer]:
+        collected = self.body.parameter_layers()
+        if self.needs_projection:
+            collected.extend(self.projection.parameter_layers())
+        return collected
+
+
+class ChannelShuffle(Layer):
+    """ShuffleNet channel shuffle across groups."""
+
+    def __init__(self, n_groups: int = 2) -> None:
+        super().__init__()
+        self.n_groups = n_groups
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        if channels % self.n_groups:
+            raise ValueError(f"channels ({channels}) not divisible by groups ({self.n_groups})")
+        self._shape = inputs.shape
+        reshaped = inputs.reshape(batch, self.n_groups, channels // self.n_groups, height, width)
+        return reshaped.transpose(0, 2, 1, 3, 4).reshape(batch, channels, height, width)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._shape
+        per_group = channels // self.n_groups
+        reshaped = grad_output.reshape(batch, per_group, self.n_groups, height, width)
+        return reshaped.transpose(0, 2, 1, 3, 4).reshape(batch, channels, height, width)
+
+
+class ShuffleBlock(Layer):
+    """A simplified ShuffleNetv2 unit.
+
+    The input is split channel-wise; one half passes through a small conv
+    stack, the halves are concatenated and channel-shuffled.  A strided
+    variant processes both halves to reduce spatial resolution.
+    """
+
+    def __init__(self, channels: int, stride: int = 1, seed: int = 0) -> None:
+        super().__init__()
+        if channels % 2:
+            raise ValueError("ShuffleBlock requires an even channel count")
+        self.stride = stride
+        half = channels // 2
+        self.branch = Sequential(
+            [
+                Conv2d(half, half, 3, stride=stride, padding=1, seed=seed),
+                BatchNorm2d(half),
+                ReLU(),
+            ]
+        )
+        if stride != 1:
+            self.shortcut = Sequential(
+                [
+                    Conv2d(half, half, 3, stride=stride, padding=1, seed=seed + 1),
+                    BatchNorm2d(half),
+                    ReLU(),
+                ]
+            )
+        self.shuffle = ChannelShuffle(2)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        half = inputs.shape[1] // 2
+        left, right = inputs[:, :half], inputs[:, half:]
+        right_out = self.branch.forward(right)
+        left_out = self.shortcut.forward(left) if self.stride != 1 else left
+        merged = np.concatenate([left_out, right_out], axis=1)
+        self._half = half
+        return self.shuffle.forward(merged)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.shuffle.backward(grad_output)
+        half = self._half
+        grad_left, grad_right = grad[:, :half], grad[:, half:]
+        grad_right_in = self.branch.backward(grad_right)
+        grad_left_in = self.shortcut.backward(grad_left) if self.stride != 1 else grad_left
+        return np.concatenate([grad_left_in, grad_right_in], axis=1)
+
+    def set_training(self, training: bool) -> None:
+        super().set_training(training)
+        self.branch.set_training(training)
+        if self.stride != 1:
+            self.shortcut.set_training(training)
+
+    def parameter_layers(self) -> list[Layer]:
+        collected = self.branch.parameter_layers()
+        if self.stride != 1:
+            collected.extend(self.shortcut.parameter_layers())
+        return collected

@@ -1,0 +1,35 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient with respect to the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, n_classes)`` raw scores.
+    labels:
+        ``(N,)`` integer class labels.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    probabilities = softmax(logits)
+    clipped = np.clip(probabilities[np.arange(n), labels], 1e-12, None)
+    loss = float(-np.log(clipped).mean())
+    grad = probabilities.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

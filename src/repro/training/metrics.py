@@ -1,0 +1,22 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose label is among the top-``k`` predictions."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, logits.shape[1])
+    top_k = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top_1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy (the metric reported in the paper's figures)."""
+    return top_k_accuracy(logits, labels, k=1)

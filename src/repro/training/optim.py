@@ -1,0 +1,66 @@
+"""SGD with momentum and the warmup + step learning-rate schedule.
+
+The paper trains with SGD, an initial learning rate of 0.1 (0.01 for the
+pretrained tasks), gradual warmup, and 10x drops at fixed epochs
+(Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.training.layers import Layer
+
+
+@dataclass
+class WarmupStepSchedule:
+    """Gradual warmup followed by multiplicative drops at milestone epochs."""
+
+    base_learning_rate: float = 0.1
+    warmup_epochs: int = 5
+    milestones: tuple[int, ...] = (30, 60)
+    drop_factor: float = 0.1
+
+    def learning_rate(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-based)."""
+        if self.warmup_epochs > 0 and epoch < self.warmup_epochs:
+            return self.base_learning_rate * (epoch + 1) / self.warmup_epochs
+        rate = self.base_learning_rate
+        for milestone in self.milestones:
+            if epoch >= milestone:
+                rate *= self.drop_factor
+        return rate
+
+
+@dataclass
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    _velocities: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def step(self, layers: list[Layer]) -> None:
+        """Apply one update to every parameter of the given layers."""
+        for layer in layers:
+            velocities = self._velocities.setdefault(id(layer), {})
+            for name, parameter in layer.params.items():
+                gradient = layer.grads.get(name)
+                if gradient is None:
+                    continue
+                if self.weight_decay and parameter.ndim > 1:
+                    gradient = gradient + self.weight_decay * parameter
+                velocity = velocities.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter)
+                velocity = self.momentum * velocity - self.learning_rate * gradient
+                velocities[name] = velocity
+                layer.params[name] = parameter + velocity
+
+    def zero_grad(self, layers: list[Layer]) -> None:
+        """Clear accumulated gradients."""
+        for layer in layers:
+            layer.grads.clear()

@@ -1,0 +1,80 @@
+"""Mixture training over scan groups (§A.6.3).
+
+Rather than a hard choice of one scan group, a mixture policy assigns a
+probability to every group and each record read draws its group from that
+distribution.  The paper's policies put weight 10 or 100 on the selected
+group and weight 1 on the rest (~50% and ~85% selection probability); a
+weight of 1 everywhere recovers uniform mixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MixturePolicy:
+    """A probability simplex over scan groups ``1..n_groups``."""
+
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(self.probabilities)
+        if not self.probabilities or abs(total - 1.0) > 1e-9:
+            raise ValueError("probabilities must be non-empty and sum to 1")
+        if any(p < 0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of scan groups covered."""
+        return len(self.probabilities)
+
+    @classmethod
+    def point_mass(cls, selected_group: int, n_groups: int) -> "MixturePolicy":
+        """Standard non-mixed selection of one group."""
+        probabilities = [0.0] * n_groups
+        probabilities[selected_group - 1] = 1.0
+        return cls(tuple(probabilities))
+
+    @classmethod
+    def weighted(
+        cls, selected_group: int, n_groups: int, selected_weight: float = 10.0
+    ) -> "MixturePolicy":
+        """The paper's mixture: weight ``selected_weight`` on the chosen group, 1 elsewhere.
+
+        ``selected_weight=10`` selects the chosen group ~50% of the time for
+        10 groups; ``selected_weight=100`` selects it ~85–92% of the time.
+        """
+        if not 1 <= selected_group <= n_groups:
+            raise ValueError("selected_group out of range")
+        weights = np.ones(n_groups)
+        weights[selected_group - 1] = selected_weight
+        probabilities = weights / weights.sum()
+        return cls(tuple(float(p) for p in probabilities))
+
+    @classmethod
+    def uniform(cls, n_groups: int) -> "MixturePolicy":
+        """Uniform mixing across all groups."""
+        return cls(tuple([1.0 / n_groups] * n_groups))
+
+    def sample_group(self, rng: np.random.Generator) -> int:
+        """Draw a scan group (1-based)."""
+        return int(rng.choice(self.n_groups, p=self.probabilities)) + 1
+
+    def expected_bytes(self, mean_bytes_by_group: dict[int, float]) -> float:
+        """Expected bytes read per record under this mixture.
+
+        This is the "fine-grained control over bandwidth" property: the
+        expected bandwidth is a continuous function of the mixture weights.
+        """
+        return sum(
+            probability * mean_bytes_by_group[group + 1]
+            for group, probability in enumerate(self.probabilities)
+        )
+
+    def selection_probability(self, group: int) -> float:
+        """Probability assigned to a scan group."""
+        return self.probabilities[group - 1]

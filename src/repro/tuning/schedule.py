@@ -1,0 +1,68 @@
+"""Static scan-group schedules (passive dynamic tuning, §A.6.2).
+
+A schedule maps the epoch number to a scan group without any feedback from
+the model.  The paper mentions cyclic and decreasing schedules as simple
+alternatives to active controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """Always the same scan group."""
+
+    group: int
+
+    def group_for_epoch(self, epoch: int) -> int:
+        """Scan group to use during ``epoch``."""
+        del epoch
+        return self.group
+
+
+@dataclass(frozen=True)
+class StepSchedule:
+    """Switch groups at fixed epoch milestones.
+
+    ``milestones=[(0, 10), (5, 2), (20, 5)]`` trains at group 10 from epoch 0,
+    group 2 from epoch 5, and group 5 from epoch 20 — the "warm up at full
+    quality, drop down, come back up" pattern used by the CelebA dynamic runs.
+    """
+
+    milestones: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.milestones:
+            raise ValueError("milestones must be non-empty")
+        epochs = [epoch for epoch, _ in self.milestones]
+        if epochs != sorted(epochs):
+            raise ValueError("milestone epochs must be non-decreasing")
+
+    def group_for_epoch(self, epoch: int) -> int:
+        """Scan group to use during ``epoch``."""
+        current = self.milestones[0][1]
+        for milestone_epoch, group in self.milestones:
+            if epoch >= milestone_epoch:
+                current = group
+        return current
+
+
+@dataclass(frozen=True)
+class CyclicSchedule:
+    """Cycle through a list of scan groups with a fixed period."""
+
+    groups: tuple[int, ...]
+    epochs_per_group: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("groups must be non-empty")
+        if self.epochs_per_group < 1:
+            raise ValueError("epochs_per_group must be >= 1")
+
+    def group_for_epoch(self, epoch: int) -> int:
+        """Scan group to use during ``epoch``."""
+        index = (epoch // self.epochs_per_group) % len(self.groups)
+        return self.groups[index]

@@ -1,0 +1,56 @@
+"""Shared fixtures: deterministic synthetic images and small PCR datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.image import ImageBuffer
+from repro.core.dataset import PCRDataset
+from repro.datasets.synthetic import SyntheticImageGenerator, SyntheticImageSpec
+
+
+def make_structured_image(size: int = 48, seed: int = 0, color: bool = True) -> ImageBuffer:
+    """A deterministic image with both low- and high-frequency content."""
+    rng = np.random.default_rng(seed)
+    coordinates = np.linspace(0, 1, size)
+    xx, yy = np.meshgrid(coordinates, coordinates)
+    base = 128 + 80 * np.sin(4 * np.pi * xx) * np.cos(2 * np.pi * yy)
+    texture = 30 * np.sin(24 * np.pi * (xx + 0.3 * yy))
+    noise = rng.normal(0, 4, size=(size, size))
+    luma = base + texture + noise
+    if not color:
+        return ImageBuffer.from_array(luma)
+    rgb = np.stack([luma, 0.7 * luma + 40.0, 220.0 - 0.5 * luma], axis=-1)
+    return ImageBuffer.from_array(rgb)
+
+
+@pytest.fixture(scope="session")
+def color_image() -> ImageBuffer:
+    return make_structured_image(48, seed=1, color=True)
+
+
+@pytest.fixture(scope="session")
+def gray_image() -> ImageBuffer:
+    return make_structured_image(48, seed=2, color=False)
+
+
+@pytest.fixture(scope="session")
+def odd_sized_image() -> ImageBuffer:
+    return make_structured_image(37, seed=3, color=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_samples() -> list[tuple[str, ImageBuffer, int]]:
+    """Twenty small labelled images used to build PCR datasets in tests."""
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=32, n_coarse_groups=2), seed=7
+    )
+    return generator.generate_batch(20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def pcr_dataset(tmp_path_factory, tiny_samples) -> PCRDataset:
+    """A session-scoped PCR dataset built from :func:`tiny_samples`."""
+    directory = tmp_path_factory.mktemp("pcr-session")
+    return PCRDataset.build(tiny_samples, directory, images_per_record=8, quality=90)

@@ -1,0 +1,214 @@
+"""Tests for bit I/O, Huffman coding, and run-length symbol coding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.codecs.huffman import HuffmanTable
+from repro.codecs.rle import (
+    EOB_SYMBOL,
+    ZRL_SYMBOL,
+    ac_band_symbols,
+    dc_symbols,
+    decode_magnitude,
+    magnitude_bits,
+    magnitude_category,
+    read_ac_band,
+    read_dc_values,
+    write_symbols,
+)
+
+
+class TestBitIO:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b1, 1)
+        writer.write_bits(0b000111, 6)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bit() == 1
+        assert reader.read_bits(6) == 0b000111
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.getvalue() == b""
+
+    def test_padding_with_ones(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        assert writer.getvalue() == bytes([0b10111111 | 0b01111111 & 0xFF]) or writer.getvalue()[0] & 0x7F == 0x7F
+
+    def test_value_too_large_raises(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_reader_eof(self):
+        reader = BitReader(b"")
+        assert reader.exhausted
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, pairs):
+        writer = BitWriter()
+        clipped = [(value % (1 << bits), bits) for value, bits in pairs]
+        for value, bits in clipped:
+            writer.write_bits(value, bits)
+        reader = BitReader(writer.getvalue())
+        for value, bits in clipped:
+            assert reader.read_bits(bits) == value
+
+
+class TestHuffman:
+    def test_single_symbol_table(self):
+        table = HuffmanTable.from_symbols([7, 7, 7])
+        writer = BitWriter()
+        table.encode_symbol(7, writer)
+        reader = BitReader(writer.getvalue())
+        assert table.decode_symbol(reader) == 7
+
+    def test_empty_symbol_list_gives_usable_table(self):
+        table = HuffmanTable.from_symbols([])
+        assert table.code_lengths
+
+    def test_frequent_symbols_get_short_codes(self):
+        symbols = [1] * 100 + [2] * 10 + [3]
+        table = HuffmanTable.from_symbols(symbols)
+        assert table.code_length(1) <= table.code_length(2) <= table.code_length(3)
+
+    def test_roundtrip_many_symbols(self):
+        import random
+
+        rng = random.Random(0)
+        symbols = [rng.randint(0, 40) for _ in range(500)]
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        for symbol in symbols:
+            table.encode_symbol(symbol, writer)
+        reader = BitReader(writer.getvalue())
+        decoded = [table.decode_symbol(reader) for _ in symbols]
+        assert decoded == symbols
+
+    def test_serialization_roundtrip(self):
+        table = HuffmanTable.from_symbols([0, 0, 1, 1, 1, 2, 3, 3, 3, 3, 4])
+        payload = table.to_bytes()
+        restored, consumed = HuffmanTable.from_bytes(payload + b"extra")
+        assert consumed == len(payload)
+        assert restored.code_lengths == table.code_lengths
+
+    def test_unknown_symbol_raises(self):
+        table = HuffmanTable.from_symbols([1, 2, 3])
+        with pytest.raises(KeyError):
+            table.encode_symbol(99, BitWriter())
+
+    def test_truncated_payload_raises(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_bytes(b"\x00\x01")
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, symbols):
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        for symbol in symbols:
+            table.encode_symbol(symbol, writer)
+        reader = BitReader(writer.getvalue())
+        assert [table.decode_symbol(reader) for _ in symbols] == symbols
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_serialized_table_decodes_stream(self, symbols):
+        table = HuffmanTable.from_symbols(symbols)
+        restored, _ = HuffmanTable.from_bytes(table.to_bytes())
+        writer = BitWriter()
+        for symbol in symbols:
+            table.encode_symbol(symbol, writer)
+        reader = BitReader(writer.getvalue())
+        assert [restored.decode_symbol(reader) for _ in symbols] == symbols
+
+
+class TestMagnitudeCoding:
+    def test_categories(self):
+        assert magnitude_category(0) == 0
+        assert magnitude_category(1) == 1
+        assert magnitude_category(-1) == 1
+        assert magnitude_category(255) == 8
+        assert magnitude_category(-128) == 8
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 7, -7, 31, -31, 1000, -1000])
+    def test_magnitude_roundtrip(self, value):
+        category = magnitude_category(value)
+        bits = magnitude_bits(value, category)
+        assert decode_magnitude(bits, category) == value
+
+    @given(st.integers(-(2**14), 2**14))
+    @settings(max_examples=100, deadline=None)
+    def test_magnitude_roundtrip_property(self, value):
+        category = magnitude_category(value)
+        assert decode_magnitude(magnitude_bits(value, category), category) == value
+
+
+class TestRunLengthCoding:
+    def test_dc_roundtrip(self):
+        values = [10, 12, 12, 8, -3, 0, 5]
+        symbols, extras = dc_symbols(values)
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        write_symbols(symbols, extras, table, writer)
+        reader = BitReader(writer.getvalue())
+        assert read_dc_values(reader, table, len(values)) == values
+
+    def test_ac_band_roundtrip(self):
+        band = [0, 5, 0, 0, -2, 0, 0, 0, 0, 0, 1, 0, 0]
+        symbols, extras = ac_band_symbols(band)
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        write_symbols(symbols, extras, table, writer)
+        reader = BitReader(writer.getvalue())
+        assert read_ac_band(reader, table, len(band)) == band
+
+    def test_all_zero_band_is_single_eob(self):
+        symbols, extras = ac_band_symbols([0] * 20)
+        assert symbols == [EOB_SYMBOL]
+        assert extras == [(0, 0)]
+
+    def test_long_zero_run_uses_zrl(self):
+        band = [0] * 20 + [3]
+        symbols, _ = ac_band_symbols(band)
+        assert ZRL_SYMBOL in symbols
+
+    def test_trailing_nonzero_has_no_eob(self):
+        band = [0, 0, 4]
+        symbols, _ = ac_band_symbols(band)
+        assert symbols[-1] != EOB_SYMBOL
+
+    @given(st.lists(st.integers(-300, 300), min_size=1, max_size=63))
+    @settings(max_examples=60, deadline=None)
+    def test_ac_band_roundtrip_property(self, band):
+        symbols, extras = ac_band_symbols(band)
+        table = HuffmanTable.from_symbols(symbols if symbols else [EOB_SYMBOL])
+        writer = BitWriter()
+        write_symbols(symbols, extras, table, writer)
+        reader = BitReader(writer.getvalue())
+        assert read_ac_band(reader, table, len(band)) == band
+
+    @given(st.lists(st.integers(-2000, 2000), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_dc_roundtrip_property(self, values):
+        symbols, extras = dc_symbols(values)
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        write_symbols(symbols, extras, table, writer)
+        reader = BitReader(writer.getvalue())
+        assert read_dc_values(reader, table, len(values)) == values

@@ -1,0 +1,288 @@
+"""Tests for markers, baseline/progressive codecs, and lossless transcoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.image import ImageBuffer
+from repro.codecs.markers import (
+    EOI,
+    SOI,
+    CodecFormatError,
+    FrameHeader,
+    ScanHeader,
+    find_scan_segments,
+    header_prefix_length,
+    parse_frame_header,
+)
+from repro.codecs.progressive import (
+    ProgressiveCodec,
+    ScanScript,
+    assemble_partial_stream,
+    coefficients_to_image,
+    decode_coefficients,
+    image_to_coefficients,
+    split_scans,
+)
+from repro.codecs.quantization import QuantizationTables
+from repro.codecs.transcode import (
+    is_lossless_roundtrip,
+    scan_count,
+    transcode_to_progressive,
+    transcode_to_sequential,
+)
+from repro.metrics.psnr import mse
+
+
+class TestMarkers:
+    def test_frame_header_roundtrip(self):
+        header = FrameHeader(100, 80, 3, 1, QuantizationTables.for_quality(85))
+        data = SOI + header.to_bytes() + EOI
+        parsed, offset = parse_frame_header(data)
+        assert parsed.height == 100
+        assert parsed.width == 80
+        assert parsed.n_components == 3
+        assert parsed.quant_tables.quality == 85
+        assert data[offset : offset + 2] == EOI
+
+    def test_component_shape_subsampling(self):
+        header = FrameHeader(33, 21, 3, 1, QuantizationTables.for_quality(90))
+        assert header.component_shape(0) == (33, 21)
+        assert header.component_shape(1) == (17, 11)
+
+    def test_scan_header_roundtrip(self):
+        header = ScanHeader((0, 1, 2), 0, 0)
+        parsed, _ = ScanHeader.parse(header.to_bytes(), 0)
+        assert parsed == header
+
+    def test_missing_soi_raises(self):
+        with pytest.raises(CodecFormatError):
+            parse_frame_header(b"\x00\x00")
+
+    def test_find_segments_on_truncated_stream(self, color_image):
+        codec = ProgressiveCodec(quality=85)
+        data = codec.encode(color_image)
+        segments = find_scan_segments(data)
+        assert len(segments) == 10
+        # Cut in the middle of the 4th scan: only 3 complete scans remain.
+        cut = segments[3].start + (segments[3].end - segments[3].start) // 2
+        truncated = data[:cut]
+        assert len(find_scan_segments(truncated)) == 3
+
+    def test_header_prefix_length(self, color_image):
+        data = ProgressiveCodec().encode(color_image)
+        prefix = header_prefix_length(data)
+        assert data[:2] == SOI
+        assert find_scan_segments(data)[0].start == prefix
+
+
+class TestScanScript:
+    def test_default_color_script_has_ten_scans(self):
+        script = ScanScript.default_color()
+        assert len(script) == 10
+        script.validate(3)
+
+    def test_default_grayscale_script_has_ten_scans(self):
+        script = ScanScript.default_grayscale()
+        assert len(script) == 10
+        script.validate(1)
+
+    def test_sequential_script_covers_everything(self):
+        ScanScript.sequential(3).validate(3)
+        ScanScript.sequential(1).validate(1)
+
+    def test_default_for_unknown_component_count(self):
+        with pytest.raises(ValueError):
+            ScanScript.default_for(2)
+
+    def test_validate_rejects_overlap(self):
+        script = ScanScript((ScanHeader((0,), 0, 10), ScanHeader((0,), 10, 63)))
+        with pytest.raises(ValueError):
+            script.validate(1)
+
+    def test_validate_rejects_missing_coverage(self):
+        script = ScanScript((ScanHeader((0,), 0, 10),))
+        with pytest.raises(ValueError):
+            script.validate(1)
+
+    def test_validate_rejects_unknown_component(self):
+        script = ScanScript((ScanHeader((0, 5), 0, 63),))
+        with pytest.raises(ValueError):
+            script.validate(1)
+
+
+class TestProgressiveCodec:
+    def test_roundtrip_quality_improves_with_scans(self, color_image):
+        codec = ProgressiveCodec(quality=90)
+        data = codec.encode(color_image)
+        errors = [mse(color_image, codec.decode(data, max_scans=k)) for k in (1, 3, 5, 10)]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 400.0
+
+    def test_grayscale_roundtrip(self, gray_image):
+        codec = ProgressiveCodec(quality=90)
+        data = codec.encode(gray_image)
+        assert codec.n_scans(data) == 10
+        decoded = codec.decode(data)
+        assert decoded.pixels.shape == gray_image.pixels.shape
+        assert mse(gray_image, decoded) < 200.0
+
+    def test_odd_dimensions_roundtrip(self, odd_sized_image):
+        codec = ProgressiveCodec(quality=90)
+        decoded = codec.decode(codec.encode(odd_sized_image))
+        assert decoded.height == odd_sized_image.height
+        assert decoded.width == odd_sized_image.width
+
+    def test_higher_quality_means_more_bytes_and_lower_error(self, color_image):
+        low = ProgressiveCodec(quality=40)
+        high = ProgressiveCodec(quality=95)
+        low_data = low.encode(color_image)
+        high_data = high.encode(color_image)
+        assert len(high_data) > len(low_data)
+        assert mse(color_image, high.decode(high_data)) < mse(color_image, low.decode(low_data))
+
+    def test_decode_truncated_stream(self, color_image):
+        codec = ProgressiveCodec(quality=90)
+        data = codec.encode(color_image)
+        segments = find_scan_segments(data)
+        truncated = data[: segments[4].end]  # 5 complete scans, no EOI
+        image = codec.decode(truncated)
+        assert image.pixels.shape == color_image.pixels.shape
+
+    def test_split_and_reassemble_scans(self, color_image):
+        codec = ProgressiveCodec(quality=90)
+        data = codec.encode(color_image)
+        prefix, scans = split_scans(data)
+        assert len(scans) == 10
+        for k in (1, 4, 10):
+            partial = assemble_partial_stream(prefix, scans[:k])
+            coefficients, n_applied = decode_coefficients(partial)
+            assert n_applied == k
+        full = assemble_partial_stream(prefix, scans)
+        assert np.array_equal(
+            codec.decode(full).pixels, codec.decode(data).pixels
+        )
+
+    def test_scan_sizes_decrease_in_importance(self, color_image):
+        # The DC + low-frequency scans carry more bytes per coefficient than
+        # the trailing high-frequency scans for natural-ish images.
+        codec = ProgressiveCodec(quality=90)
+        _, scans = split_scans(codec.encode(color_image))
+        total = sum(len(scan) for scan in scans)
+        first_half = sum(len(scan) for scan in scans[:5])
+        assert first_half > 0.35 * total
+
+    def test_coefficient_planes_shapes(self, color_image):
+        planes = image_to_coefficients(color_image, quality=90)
+        assert len(planes.planes) == 3
+        assert planes.planes[0].shape[1] == 64
+        # Chroma is subsampled: fewer blocks than luma.
+        assert planes.planes[1].shape[0] < planes.planes[0].shape[0]
+        reconstructed = coefficients_to_image(planes)
+        assert reconstructed.pixels.shape == color_image.pixels.shape
+
+    def test_custom_script(self, color_image):
+        script = ScanScript(
+            (
+                ScanHeader((0, 1, 2), 0, 0),
+                ScanHeader((0,), 1, 63),
+                ScanHeader((1,), 1, 63),
+                ScanHeader((2,), 1, 63),
+            )
+        )
+        codec = ProgressiveCodec(quality=90, script=script)
+        data = codec.encode(color_image)
+        assert codec.n_scans(data) == 4
+
+
+class TestBaselineCodec:
+    def test_roundtrip(self, color_image):
+        codec = BaselineCodec(quality=90)
+        data = codec.encode(color_image)
+        decoded = codec.decode(data)
+        assert mse(color_image, decoded) < 400.0
+
+    def test_scan_count_equals_components(self, color_image, gray_image):
+        codec = BaselineCodec(quality=90)
+        assert codec.n_scans(codec.encode(color_image)) == 3
+        assert codec.n_scans(codec.encode(gray_image)) == 1
+
+    def test_partial_read_leaves_holes(self, color_image):
+        # Reading only the first scan of a sequential stream decodes only the
+        # luma channel; chroma stays flat, so the error is far higher than a
+        # progressive scan-1 read of similar size.
+        codec = BaselineCodec(quality=90)
+        data = codec.encode(color_image)
+        partial = codec.decode(data, max_scans=1)
+        full = codec.decode(data)
+        assert mse(color_image, partial) > mse(color_image, full)
+
+    def test_baseline_and_progressive_sizes_are_close(self, color_image):
+        baseline = BaselineCodec(quality=90).encode(color_image)
+        progressive = ProgressiveCodec(quality=90).encode(color_image)
+        ratio = len(progressive) / len(baseline)
+        assert 0.7 < ratio < 1.6
+
+
+class TestTranscode:
+    def test_transcode_is_lossless(self, color_image):
+        baseline = BaselineCodec(quality=85).encode(color_image)
+        progressive = transcode_to_progressive(baseline)
+        assert is_lossless_roundtrip(baseline, progressive)
+        assert scan_count(progressive) == 10
+
+    def test_transcode_back_to_sequential(self, color_image):
+        baseline = BaselineCodec(quality=85).encode(color_image)
+        progressive = transcode_to_progressive(baseline)
+        sequential = transcode_to_sequential(progressive)
+        assert is_lossless_roundtrip(baseline, sequential)
+        assert scan_count(sequential) == 3
+
+    def test_transcode_grayscale(self, gray_image):
+        baseline = BaselineCodec(quality=85).encode(gray_image)
+        progressive = transcode_to_progressive(baseline)
+        assert scan_count(progressive) == 10
+        assert is_lossless_roundtrip(baseline, progressive)
+
+    def test_decoded_pixels_identical_after_transcode(self, color_image):
+        baseline = BaselineCodec(quality=85).encode(color_image)
+        progressive = transcode_to_progressive(baseline)
+        a = BaselineCodec().decode(baseline)
+        b = ProgressiveCodec().decode(progressive)
+        assert np.array_equal(a.pixels, b.pixels)
+
+
+class TestImageBuffer:
+    def test_raw_roundtrip(self, color_image):
+        restored = ImageBuffer.from_raw_bytes(color_image.to_raw_bytes())
+        assert restored == color_image
+
+    def test_raw_roundtrip_grayscale(self, gray_image):
+        restored = ImageBuffer.from_raw_bytes(gray_image.to_raw_bytes())
+        assert restored == gray_image
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError):
+            ImageBuffer.from_raw_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            ImageBuffer(np.zeros((4, 4), dtype=np.float32))
+
+    def test_rejects_bad_channel_count(self):
+        with pytest.raises(ValueError):
+            ImageBuffer(np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_from_array_clips(self):
+        image = ImageBuffer.from_array(np.array([[-10.0, 300.0], [0.0, 128.4]]))
+        assert image.pixels[0, 0] == 0
+        assert image.pixels[0, 1] == 255
+        assert image.pixels[1, 1] == 128
+
+    def test_grayscale_conversion_weights(self):
+        rgb = np.zeros((2, 2, 3), dtype=np.uint8)
+        rgb[..., 1] = 255
+        gray = ImageBuffer(rgb).to_grayscale()
+        assert gray.pixels[0, 0] == 150  # round(0.587 * 255)

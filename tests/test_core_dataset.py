@@ -1,0 +1,190 @@
+"""End-to-end tests of the PCR writer, reader, dataset view, and converters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.image import ImageBuffer
+from repro.codecs.progressive import ProgressiveCodec
+from repro.codecs.transcode import transcode_to_progressive
+from repro.core.convert import build_static_copies, convert_to_pcr, reference_record_bytes
+from repro.core.dataset import PCRDataset
+from repro.core.errors import MissingSampleError, PCRError, ScanGroupError
+from repro.core.reader import PCRReader
+from repro.core.scan_groups import ScanGroupPolicy
+from repro.core.writer import PCRWriter
+from repro.metrics.psnr import mse
+
+
+class TestWriterReader:
+    def test_dataset_structure(self, pcr_dataset, tiny_samples):
+        assert len(pcr_dataset) == len(tiny_samples)
+        assert pcr_dataset.n_groups == 10
+        assert len(pcr_dataset.record_names) == 3  # 20 samples / 8 per record
+
+    def test_labels_preserved(self, pcr_dataset, tiny_samples):
+        expected = {key: label for key, _, label in tiny_samples}
+        for sample in pcr_dataset:
+            assert sample.label == expected[sample.key]
+
+    def test_epoch_bytes_monotone_in_group(self, pcr_dataset):
+        by_group = pcr_dataset.epoch_bytes_by_group()
+        sizes = [by_group[g] for g in sorted(by_group)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_scan_group_one_reads_far_fewer_bytes(self, pcr_dataset):
+        by_group = pcr_dataset.epoch_bytes_by_group()
+        assert by_group[10] / by_group[1] > 2.0  # the paper reports 2-10x
+
+    def test_quality_improves_with_scan_group(self, pcr_dataset, tiny_samples):
+        originals = {key: image for key, image, _ in tiny_samples}
+        errors = {}
+        for group in (1, 5, 10):
+            pcr_dataset.set_scan_group(group)
+            errors[group] = np.mean(
+                [mse(originals[s.key], s.image) for s in pcr_dataset]
+            )
+        pcr_dataset.set_scan_group(10)
+        assert errors[1] > errors[5] > errors[10]
+
+    def test_bytes_read_accounting(self, tmp_path, tiny_samples):
+        dataset = PCRDataset.build(tiny_samples[:8], tmp_path / "acct", images_per_record=8)
+        dataset.set_scan_group(2)
+        list(dataset)
+        expected = dataset.reader.dataset_bytes_for_group(2)
+        assert dataset.reader.stats.bytes_read == expected
+
+    def test_read_sample_random_access(self, pcr_dataset, tiny_samples):
+        key = tiny_samples[5][0]
+        sample = pcr_dataset.reader.read_sample(key, scan_group=3)
+        assert sample.key == key
+        assert sample.image is not None
+
+    def test_missing_sample_raises(self, pcr_dataset):
+        with pytest.raises(MissingSampleError):
+            pcr_dataset.reader.read_sample("does-not-exist", scan_group=1)
+
+    def test_invalid_scan_group_raises(self, pcr_dataset):
+        with pytest.raises(ScanGroupError):
+            pcr_dataset.set_scan_group(0)
+        with pytest.raises(ScanGroupError):
+            pcr_dataset.set_scan_group(11)
+
+    def test_decode_false_returns_streams_only(self, pcr_dataset):
+        record = pcr_dataset.record_names[0]
+        samples = pcr_dataset.reader.read_record(record, scan_group=2, decode=False)
+        assert all(sample.image is None for sample in samples)
+        assert all(len(sample.stream) > 0 for sample in samples)
+        # The streams are themselves decodable.
+        image = ProgressiveCodec().decode(samples[0].stream)
+        assert image.height > 0
+
+    def test_writer_rejects_wrong_scan_count(self, tmp_path, tiny_samples):
+        key, image, label = tiny_samples[0]
+        baseline = BaselineCodec(quality=90).encode(image)  # 3 scans, policy expects 10
+        writer = PCRWriter(tmp_path / "bad", images_per_record=1)
+        with pytest.raises(PCRError):
+            writer.add_sample(key, baseline, label)
+
+    def test_writer_accepts_preencoded_progressive(self, tmp_path, tiny_samples):
+        writer = PCRWriter(tmp_path / "pre", images_per_record=4)
+        for key, image, label in tiny_samples[:4]:
+            stream = transcode_to_progressive(BaselineCodec(quality=90).encode(image))
+            writer.add_sample(key, stream, label)
+        result = writer.finalize()
+        assert result.n_samples == 4
+        reader = PCRReader(tmp_path / "pre")
+        assert reader.n_samples == 4
+
+    def test_lsm_backend_roundtrip(self, tmp_path, tiny_samples):
+        dataset = PCRDataset.build(
+            tiny_samples[:6], tmp_path / "lsm", images_per_record=3, backend="lsm"
+        )
+        assert len(dataset.record_names) == 2
+        dataset.set_scan_group(1)
+        assert len(list(dataset)) == 6
+
+    def test_clustered_policy_reduces_group_count(self, tmp_path, tiny_samples):
+        policy = ScanGroupPolicy.clustered([1, 4, 10])
+        dataset = PCRDataset.build(
+            tiny_samples[:6],
+            tmp_path / "clustered",
+            images_per_record=3,
+            policy=policy,
+        )
+        assert dataset.n_groups == 3
+        by_group = dataset.epoch_bytes_by_group()
+        assert set(by_group) == {1, 2, 3}
+
+    def test_partial_record_is_flushed_on_finalize(self, tmp_path, tiny_samples):
+        writer = PCRWriter(tmp_path / "partial", images_per_record=16)
+        for key, image, label in tiny_samples[:5]:
+            writer.add_sample(key, image, label)
+        result = writer.finalize()
+        assert result.n_records == 1
+        assert result.n_samples == 5
+
+    def test_writer_double_finalize_raises(self, tmp_path, tiny_samples):
+        writer = PCRWriter(tmp_path / "double", images_per_record=4)
+        writer.add_sample(*tiny_samples[0])
+        writer.finalize()
+        with pytest.raises(PCRError):
+            writer.finalize()
+
+    def test_reader_on_missing_directory(self, tmp_path):
+        with pytest.raises(PCRError):
+            PCRReader(tmp_path / "nope")
+
+    def test_no_space_overhead_vs_plain_progressive(self, tmp_path, tiny_samples):
+        # Total PCR bytes should be within a few percent of the sum of the
+        # individual progressive streams (the paper: within 5%).
+        codec = ProgressiveCodec(quality=90)
+        plain_total = sum(len(codec.encode(image)) for _, image, _ in tiny_samples)
+        dataset = PCRDataset.build(tiny_samples, tmp_path / "overhead", images_per_record=8)
+        pcr_total = sum(
+            dataset.reader.record_index(name).total_bytes for name in dataset.record_names
+        )
+        assert pcr_total / plain_total < 1.10
+
+    def test_label_mapper_view(self, pcr_dataset):
+        view = pcr_dataset.with_label_mapper(lambda label: label % 2)
+        labels = {sample.label for sample in view}
+        assert labels <= {0, 1}
+        # the underlying dataset is unchanged
+        assert {sample.label for sample in pcr_dataset} == {0, 1, 2, 3}
+
+
+class TestConverters:
+    @pytest.fixture(scope="class")
+    def few_samples(self, tiny_samples):
+        return tiny_samples[:8]
+
+    def test_convert_to_pcr_report(self, tmp_path, few_samples):
+        result, report = convert_to_pcr(few_samples, tmp_path / "conv", images_per_record=4)
+        assert result.n_samples == 8
+        assert report.approach == "pcr"
+        assert report.total_seconds > 0
+        assert report.output_bytes == result.total_bytes
+        assert report.n_copies == 1
+
+    def test_static_copies_cost_more(self, tmp_path, few_samples):
+        _, pcr_report = convert_to_pcr(few_samples, tmp_path / "pcr2", images_per_record=4)
+        static_report = build_static_copies(few_samples, tmp_path / "static", qualities=(50, 75, 90, 95))
+        assert static_report.n_copies == 4
+        assert len(static_report.per_copy_bytes) == 4
+        # Four full copies occupy far more space than one PCR dataset.
+        assert static_report.output_bytes > 2 * pcr_report.output_bytes
+
+    def test_space_amplification_reference(self, tmp_path, few_samples):
+        reference = reference_record_bytes(few_samples, tmp_path / "ref", quality=90)
+        static_report = build_static_copies(few_samples, tmp_path / "static2", qualities=(75, 90))
+        amplification = static_report.space_amplification(reference)
+        assert amplification > 1.2
+
+    def test_amplification_requires_positive_reference(self, tmp_path, few_samples):
+        report = build_static_copies(few_samples, tmp_path / "static3", qualities=(75,))
+        with pytest.raises(ValueError):
+            report.space_amplification(0)

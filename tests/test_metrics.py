@@ -1,0 +1,118 @@
+"""Tests for SSIM, MS-SSIM, PSNR, and the MSSIM-accuracy regression."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codecs.image import ImageBuffer
+from repro.codecs.progressive import ProgressiveCodec
+from repro.metrics.msssim import ms_ssim, mssim_per_scan
+from repro.metrics.psnr import mse, psnr
+from repro.metrics.regression import cluster_by_mssim, fit_mssim_accuracy
+from repro.metrics.ssim import contrast_structure, ssim
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self, color_image):
+        assert ssim(color_image, color_image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_reduces_ssim(self, color_image):
+        rng = np.random.default_rng(0)
+        mildly_noisy = ImageBuffer.from_array(color_image.as_float() + rng.normal(0, 5, color_image.pixels.shape))
+        very_noisy = ImageBuffer.from_array(color_image.as_float() + rng.normal(0, 40, color_image.pixels.shape))
+        assert 1.0 > ssim(color_image, mildly_noisy) > ssim(color_image, very_noisy)
+
+    def test_shape_mismatch(self, color_image, odd_sized_image):
+        with pytest.raises(ValueError):
+            ssim(color_image, odd_sized_image)
+
+    def test_full_returns_map(self, gray_image):
+        value, ssim_map = ssim(gray_image, gray_image, full=True)
+        assert value == pytest.approx(1.0, abs=1e-9)
+        assert ssim_map.shape == gray_image.pixels.shape
+
+    def test_contrast_structure_bounded(self, color_image):
+        rng = np.random.default_rng(1)
+        noisy = ImageBuffer.from_array(color_image.as_float() + rng.normal(0, 10, color_image.pixels.shape))
+        value = contrast_structure(color_image, noisy)
+        assert -1.0 <= value <= 1.0
+
+    def test_works_on_raw_arrays(self):
+        array = np.random.default_rng(2).uniform(0, 255, size=(32, 32))
+        assert ssim(array, array) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMSSSIM:
+    def test_identical_images_score_one(self, color_image):
+        assert ms_ssim(color_image, color_image) == pytest.approx(1.0, abs=1e-6)
+
+    def test_quality_ordering_across_scans(self, color_image):
+        codec = ProgressiveCodec(quality=90)
+        data = codec.encode(color_image)
+        full = codec.decode(data)
+        reconstructions = [codec.decode(data, max_scans=k) for k in range(1, 11)]
+        values = mssim_per_scan(full, reconstructions)
+        assert len(values) == 10
+        # MSSIM is (weakly) increasing with more scans and ends near 1.
+        assert values[-1] > 0.99
+        assert values[0] < values[-1]
+        assert values[4] >= values[0]
+
+    def test_small_images_use_fewer_scales(self):
+        small = np.random.default_rng(3).uniform(0, 255, size=(20, 20))
+        assert ms_ssim(small, small) == pytest.approx(1.0, abs=1e-6)
+
+    def test_shape_mismatch(self, color_image, odd_sized_image):
+        with pytest.raises(ValueError):
+            ms_ssim(color_image, odd_sized_image)
+
+
+class TestPSNR:
+    def test_identical_images_are_infinite(self, color_image):
+        assert math.isinf(psnr(color_image, color_image))
+        assert mse(color_image, color_image) == 0.0
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 10.0)
+        assert mse(a, b) == pytest.approx(100.0)
+        assert psnr(a, b) == pytest.approx(10 * math.log10(255**2 / 100.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestRegression:
+    def test_recovers_linear_relationship(self):
+        mssim_values = [0.85, 0.90, 0.95, 0.99, 1.0]
+        accuracies = [296.8 * m - 246.2 for m in mssim_values]
+        fit = fit_mssim_accuracy(mssim_values, accuracies)
+        assert fit.slope == pytest.approx(296.8, rel=1e-6)
+        assert fit.intercept == pytest.approx(-246.2, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(0.92) == pytest.approx(296.8 * 0.92 - 246.2)
+
+    def test_noisy_fit_has_significant_p_value(self):
+        rng = np.random.default_rng(4)
+        mssim_values = list(np.linspace(0.8, 1.0, 20))
+        accuracies = [60 * m + rng.normal(0, 0.5) for m in mssim_values]
+        fit = fit_mssim_accuracy(mssim_values, accuracies)
+        assert fit.p_value < 1e-6
+        assert 50 < fit.slope < 70
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            fit_mssim_accuracy([0.9], [0.5, 0.6])
+        with pytest.raises(ValueError):
+            fit_mssim_accuracy([0.9], [0.5])
+
+    def test_cluster_by_mssim(self):
+        values = {1: 0.50, 2: 0.80, 3: 0.805, 4: 0.81, 5: 0.95, 6: 0.952, 7: 1.0}
+        clusters = cluster_by_mssim(values, tolerance=0.02)
+        assert [1] in clusters
+        assert any(set(c) == {2, 3, 4} for c in clusters)
+        assert any(5 in c and 6 in c for c in clusters)

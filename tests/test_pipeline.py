@@ -1,0 +1,214 @@
+"""Tests for samplers, augmentations, batching, the loader, and stall tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline.augment import (
+    CenterCrop,
+    Compose,
+    HorizontalFlip,
+    RandomCrop,
+    Resize,
+    bilinear_resize,
+    standard_training_augmentations,
+)
+from repro.pipeline.batch import collate
+from repro.pipeline.loader import DataLoader, LoaderConfig
+from repro.pipeline.sampler import SequentialSampler, ShuffleSampler
+from repro.pipeline.stall import StallTracker
+
+
+class TestSamplers:
+    def test_sequential_preserves_order(self):
+        items = ["a", "b", "c"]
+        assert list(SequentialSampler(items)) == items
+
+    def test_shuffle_is_permutation(self):
+        items = list(range(50))
+        sampler = ShuffleSampler(items, seed=3)
+        shuffled = list(sampler)
+        assert sorted(shuffled) == items
+        assert shuffled != items
+
+    def test_shuffle_differs_across_epochs(self):
+        sampler = ShuffleSampler(list(range(30)), seed=1)
+        assert list(sampler) != list(sampler)
+
+    def test_shuffle_reproducible_with_seed(self):
+        assert list(ShuffleSampler(list(range(20)), seed=5)) == list(
+            ShuffleSampler(list(range(20)), seed=5)
+        )
+
+    def test_len(self):
+        assert len(SequentialSampler([1, 2])) == 2
+        assert len(ShuffleSampler([1, 2, 3])) == 3
+
+
+class TestAugmentations:
+    def _image(self, height=20, width=30):
+        rng = np.random.default_rng(0)
+        return rng.uniform(0, 255, size=(height, width, 3))
+
+    def test_resize_shape(self):
+        rng = np.random.default_rng(1)
+        out = Resize(16)(self._image(), rng)
+        assert out.shape == (16, 16, 3)
+
+    def test_bilinear_resize_preserves_constant_images(self):
+        constant = np.full((10, 10), 7.0)
+        assert np.allclose(bilinear_resize(constant, 23, 17), 7.0)
+
+    def test_bilinear_resize_identity(self):
+        image = self._image(8, 8)
+        assert np.allclose(bilinear_resize(image, 8, 8), image)
+
+    def test_random_crop_shape_and_content(self):
+        rng = np.random.default_rng(2)
+        image = self._image(20, 20)
+        out = RandomCrop(12)(image, rng)
+        assert out.shape == (12, 12, 3)
+
+    def test_random_crop_pads_small_images(self):
+        rng = np.random.default_rng(3)
+        out = RandomCrop(32)(self._image(20, 20), rng)
+        assert out.shape == (32, 32, 3)
+
+    def test_center_crop_is_deterministic(self):
+        rng = np.random.default_rng(4)
+        image = self._image(21, 21)
+        a = CenterCrop(10)(image, rng)
+        b = CenterCrop(10)(image, rng)
+        assert np.array_equal(a, b)
+
+    def test_horizontal_flip_probability_one(self):
+        rng = np.random.default_rng(5)
+        image = self._image(6, 6)
+        flipped = HorizontalFlip(probability=1.0)(image, rng)
+        assert np.array_equal(flipped, image[:, ::-1])
+
+    def test_horizontal_flip_probability_zero(self):
+        rng = np.random.default_rng(6)
+        image = self._image(6, 6)
+        assert np.array_equal(HorizontalFlip(probability=0.0)(image, rng), image)
+
+    def test_compose_and_standard_recipe(self):
+        rng = np.random.default_rng(7)
+        recipe = standard_training_augmentations(24)
+        assert isinstance(recipe, Compose)
+        out = recipe(self._image(48, 40), rng)
+        assert out.shape == (24, 24, 3)
+
+    def test_eval_recipe_deterministic(self):
+        rng = np.random.default_rng(8)
+        recipe = standard_training_augmentations(24, train=False)
+        image = self._image(48, 40)
+        assert np.array_equal(recipe(image, rng), recipe(image, rng))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Resize(0)
+        with pytest.raises(ValueError):
+            HorizontalFlip(probability=1.5)
+
+
+class TestCollate:
+    def test_shapes_and_scaling(self):
+        images = [np.full((8, 8, 3), 255.0), np.zeros((8, 8, 3))]
+        batch = collate(images, [1, 0])
+        assert batch.images.shape == (2, 8, 8, 3)
+        assert batch.images.dtype == np.float32
+        assert batch.images.max() <= 1.0
+        assert batch.labels.tolist() == [1, 0]
+        assert len(batch) == 2
+
+    def test_grayscale_gets_channel_axis(self):
+        batch = collate([np.zeros((8, 8))], [0])
+        assert batch.images.shape == (1, 8, 8, 1)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            collate([np.zeros((4, 4, 3))], [0, 1])
+
+    def test_empty_batch(self):
+        with pytest.raises(ValueError):
+            collate([], [])
+
+    def test_classes_present(self):
+        batch = collate([np.zeros((4, 4, 3))] * 3, [0, 0, 2])
+        assert batch.n_classes_present == 2
+
+
+class TestDataLoader:
+    def test_epoch_covers_every_sample_once(self, pcr_dataset):
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=6, n_workers=2, shuffle=True))
+        total = sum(len(batch) for batch in loader.epoch())
+        assert total == len(pcr_dataset)
+
+    def test_batches_per_epoch(self, pcr_dataset):
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=6))
+        assert loader.batches_per_epoch() == 4  # 20 samples -> 3 full + 1 partial
+        loader_drop = DataLoader(pcr_dataset, LoaderConfig(batch_size=6, drop_last=True))
+        assert loader_drop.batches_per_epoch() == 3
+
+    def test_drop_last(self, pcr_dataset):
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=6, drop_last=True))
+        sizes = [len(batch) for batch in loader.epoch()]
+        assert all(size == 6 for size in sizes)
+
+    def test_augmented_batches_have_requested_size(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset,
+            LoaderConfig(batch_size=4, n_workers=1, shuffle=False),
+            augmentations=standard_training_augmentations(24),
+        )
+        batch = next(iter(loader.epoch()))
+        assert batch.images.shape[1:] == (24, 24, 3)
+
+    def test_scan_group_switch_changes_bytes_read(self, pcr_dataset):
+        # Open an independent dataset view so byte accounting is not shared
+        # with other tests' loaders.
+        from repro.core.dataset import PCRDataset
+
+        dataset = PCRDataset(pcr_dataset.reader.directory, scan_group=1)
+        loader = DataLoader(dataset, LoaderConfig(batch_size=8, n_workers=1))
+        list(loader.epoch())
+        low_bytes = dataset.reader.stats.bytes_read
+        dataset.reader.stats.reset()
+        dataset.set_scan_group(10)
+        list(loader.epoch())
+        high_bytes = dataset.reader.stats.bytes_read
+        assert low_bytes == dataset.reader.dataset_bytes_for_group(1)
+        assert high_bytes == dataset.reader.dataset_bytes_for_group(10)
+        assert high_bytes > 1.5 * low_bytes
+        dataset.close()
+
+    def test_stalls_are_recorded(self, pcr_dataset):
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=8, n_workers=1))
+        list(loader.epoch())
+        assert len(loader.stalls.wait_seconds) > 0
+
+
+class TestStallTracker:
+    def test_fraction_and_totals(self):
+        tracker = StallTracker()
+        tracker.record_wait(1.0)
+        tracker.record_compute(3.0)
+        assert tracker.total_wait == 1.0
+        assert tracker.stall_fraction == pytest.approx(0.25)
+
+    def test_stalled_iterations_threshold(self):
+        tracker = StallTracker()
+        tracker.record_wait(0.0001)
+        tracker.record_wait(0.5)
+        assert tracker.stalled_iterations(threshold_seconds=1e-3) == 1
+
+    def test_timeline(self):
+        tracker = StallTracker()
+        tracker.record_wait(0.1)
+        tracker.record_wait(0.2)
+        assert tracker.timeline() == [(0, 0.1), (1, 0.2)]
+
+    def test_empty_tracker(self):
+        assert StallTracker().stall_fraction == 0.0

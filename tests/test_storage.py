@@ -1,0 +1,255 @@
+"""Tests for the simulated storage substrate: devices, cache, filesystem, cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.cache import CachedDevice, PageCache
+from repro.storage.cluster import StorageCluster
+from repro.storage.device import HDD_PROFILE, MEMORY_PROFILE, SSD_PROFILE, BlockDevice, DeviceProfile
+from repro.storage.filesystem import SimulatedFilesystem
+from repro.storage.io_stats import IOStats
+
+
+class TestDeviceProfile:
+    def test_sequential_access_skips_seek(self):
+        profile = DeviceProfile("test", bandwidth_bytes_per_second=1e6, seek_seconds=0.01)
+        assert profile.access_time(1000, sequential=True) == pytest.approx(0.001)
+        assert profile.access_time(1000, sequential=False) == pytest.approx(0.011)
+
+    def test_hdd_seek_dominates_small_random_reads(self):
+        small = 100 * 1024
+        random_time = HDD_PROFILE.access_time(small, sequential=False)
+        sequential_time = HDD_PROFILE.access_time(small, sequential=True)
+        assert random_time > 10 * sequential_time
+
+    def test_ssd_less_seek_sensitive_than_hdd(self):
+        ratio_hdd = HDD_PROFILE.access_time(4096, False) / HDD_PROFILE.access_time(4096, True)
+        ratio_ssd = SSD_PROFILE.access_time(4096, False) / SSD_PROFILE.access_time(4096, True)
+        assert ratio_hdd > ratio_ssd
+
+
+class TestBlockDevice:
+    def test_write_read_roundtrip(self):
+        device = BlockDevice(MEMORY_PROFILE)
+        offset = device.allocate(11)
+        device.write(offset, b"hello world")
+        data, _ = device.read(offset, 11)
+        assert data == b"hello world"
+
+    def test_partial_read_of_extent(self):
+        device = BlockDevice(MEMORY_PROFILE)
+        offset = device.allocate(10)
+        device.write(offset, b"0123456789")
+        data, _ = device.read(offset, 4)
+        assert data == b"0123"
+
+    def test_read_spanning_extents(self):
+        device = BlockDevice(MEMORY_PROFILE)
+        first = device.allocate(4)
+        device.write(first, b"abcd")
+        second = device.allocate(4)
+        device.write(second, b"efgh")
+        data, _ = device.read(first, 8)
+        assert data == b"abcdefgh"
+
+    def test_sequential_reads_avoid_seeks(self):
+        device = BlockDevice(HDD_PROFILE)
+        offset = device.allocate(2048)
+        device.write(offset, b"x" * 2048)
+        device.reset_position()
+        seeks_before = device.stats.seeks
+        device.read(offset, 1024)
+        device.read(offset + 1024, 1024)  # continues from previous position
+        assert device.stats.seeks - seeks_before == 1  # only the first read seeks
+
+    def test_random_reads_all_seek(self):
+        device = BlockDevice(HDD_PROFILE)
+        offsets = []
+        for _ in range(4):
+            offset = device.allocate(512)
+            device.write(offset, b"y" * 512)
+            offsets.append(offset)
+        device.reset_position()
+        seeks_before = device.stats.seeks
+        for offset in reversed(offsets):
+            device.read(offset, 512)
+        assert device.stats.seeks - seeks_before == 4
+
+    def test_out_of_space(self):
+        device = BlockDevice(MEMORY_PROFILE, capacity_bytes=100)
+        with pytest.raises(IOError):
+            device.allocate(101)
+
+    def test_clock_advances(self):
+        device = BlockDevice(HDD_PROFILE)
+        offset = device.allocate(1 << 20)
+        device.write(offset, b"z" * (1 << 20))
+        before = device.clock_seconds
+        device.read(offset, 1 << 20)
+        assert device.clock_seconds > before
+
+
+class TestIOStats:
+    def test_throughput(self):
+        stats = IOStats()
+        stats.record_read(1000, 0.5, seek=True)
+        stats.record_read(1000, 0.5, seek=False)
+        assert stats.read_throughput_bytes_per_second() == pytest.approx(2000.0)
+        assert stats.seeks == 1
+        assert stats.mean_latency == pytest.approx(0.5)
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_write(10, 0.1, seek=True)
+        stats.reset()
+        assert stats.bytes_written == 0
+        assert stats.busy_seconds == 0.0
+        assert stats.per_op_latencies == []
+
+
+class TestPageCache:
+    def test_hit_and_miss_accounting(self):
+        cache = PageCache(capacity_bytes=4 * 4096)
+        assert cache.lookup(0) is None
+        cache.insert(0, b"p" * 4096)
+        assert cache.lookup(0) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = PageCache(capacity_bytes=2 * 4096)
+        cache.insert(0, b"a")
+        cache.insert(1, b"b")
+        cache.lookup(0)  # page 0 becomes most recently used
+        cache.insert(2, b"c")  # evicts page 1
+        assert cache.lookup(1) is None
+        assert cache.lookup(0) is not None
+
+    def test_zero_capacity_never_caches(self):
+        cache = PageCache(capacity_bytes=0)
+        cache.insert(0, b"x")
+        assert len(cache) == 0
+
+
+class TestCachedDevice:
+    def _device_with_file(self):
+        device = BlockDevice(SSD_PROFILE)
+        offset = device.allocate(64 * 1024)
+        device.write(offset, bytes(range(256)) * 256)
+        return CachedDevice(device, cache_bytes=1 << 20), offset
+
+    def test_cached_reread_is_faster(self):
+        cached, offset = self._device_with_file()
+        _, first_latency = cached.read(offset, 16 * 1024)
+        _, second_latency = cached.read(offset, 16 * 1024)
+        assert second_latency < first_latency / 10
+
+    def test_direct_io_bypasses_cache(self):
+        cached, offset = self._device_with_file()
+        cached.read(offset, 8192, direct_io=True)
+        assert cached.cache.hits == 0
+        assert len(cached.cache) == 0
+
+    def test_cached_data_matches_device(self):
+        cached, offset = self._device_with_file()
+        direct, _ = cached.read(offset, 4096, direct_io=True)
+        via_cache, _ = cached.read(offset, 4096)
+        assert direct == via_cache
+
+    def test_write_invalidates_cache(self):
+        cached, offset = self._device_with_file()
+        cached.read(offset, 4096)
+        cached.write(offset, b"\xff" * 4096)
+        data, _ = cached.read(offset, 4096)
+        assert data == b"\xff" * 4096
+
+
+class TestSimulatedFilesystem:
+    def test_write_and_read_file(self):
+        filesystem = SimulatedFilesystem(BlockDevice(MEMORY_PROFILE))
+        filesystem.write_file("a.rec", b"payload")
+        data, _ = filesystem.read_file("a.rec")
+        assert data == b"payload"
+        assert filesystem.file_size("a.rec") == 7
+
+    def test_prefix_read(self):
+        filesystem = SimulatedFilesystem(BlockDevice(MEMORY_PROFILE))
+        filesystem.write_file("rec", b"0123456789")
+        data, _ = filesystem.read_file("rec", length=4)
+        assert data == b"0123"
+
+    def test_duplicate_name_rejected(self):
+        filesystem = SimulatedFilesystem(BlockDevice(MEMORY_PROFILE))
+        filesystem.write_file("x", b"1")
+        with pytest.raises(FileExistsError):
+            filesystem.write_file("x", b"2")
+
+    def test_missing_file(self):
+        filesystem = SimulatedFilesystem(BlockDevice(MEMORY_PROFILE))
+        with pytest.raises(FileNotFoundError):
+            filesystem.read_file("nope")
+
+    def test_scattered_files_cost_more_to_read_than_one_record(self):
+        # File-per-Image (many small scattered files) vs one contiguous record
+        # holding the same bytes: the record wins on an HDD.
+        payload = b"i" * (64 * 1024)
+        scattered_fs = SimulatedFilesystem(BlockDevice(HDD_PROFILE), scatter_stride_bytes=1 << 20)
+        record_fs = SimulatedFilesystem(BlockDevice(HDD_PROFILE))
+        for index in range(16):
+            scattered_fs.write_file(f"img-{index}", payload)
+        record_fs.write_file("record", payload * 16)
+        scattered_fs.device.reset_position()
+        record_fs.device.reset_position()
+        scattered_time = sum(scattered_fs.read_file(f"img-{i}")[1] for i in range(16))
+        _, record_time = record_fs.read_file("record")
+        assert scattered_time > 2 * record_time
+
+
+class TestStorageCluster:
+    def test_put_and_read_object(self):
+        cluster = StorageCluster(n_osds=3, stripe_bytes=1024)
+        payload = bytes(range(256)) * 20  # 5120 bytes -> 5 stripes
+        cluster.put_object("record-0", payload)
+        data, latency = cluster.read_object("record-0")
+        assert data == payload
+        assert latency > 0
+
+    def test_prefix_read_touches_fewer_stripes(self):
+        cluster = StorageCluster(n_osds=4, stripe_bytes=1024)
+        cluster.put_object("obj", b"s" * 8192)
+        full, full_latency = cluster.read_object("obj")
+        prefix, prefix_latency = cluster.read_object("obj", length=1024)
+        assert len(prefix) == 1024
+        assert prefix_latency <= full_latency
+        assert cluster.mds_lookups == 2
+
+    def test_striping_spreads_across_osds(self):
+        cluster = StorageCluster(n_osds=4, stripe_bytes=512)
+        cluster.put_object("obj", b"t" * 4096)
+        location = cluster._objects["obj"]
+        used_osds = {osd for osd, _, _ in location.stripes}
+        assert len(used_osds) == 4
+
+    def test_aggregate_bandwidth(self):
+        cluster = StorageCluster(n_osds=5)
+        per_osd = cluster.osds[0].profile.bandwidth_bytes_per_second
+        assert cluster.aggregate_bandwidth_bytes_per_second() == pytest.approx(5 * per_osd)
+
+    def test_duplicate_object_rejected(self):
+        cluster = StorageCluster(n_osds=2)
+        cluster.put_object("a", b"1")
+        with pytest.raises(FileExistsError):
+            cluster.put_object("a", b"2")
+
+    def test_missing_object(self):
+        cluster = StorageCluster(n_osds=2)
+        with pytest.raises(FileNotFoundError):
+            cluster.read_object("missing")
+
+    def test_empty_object(self):
+        cluster = StorageCluster(n_osds=2)
+        cluster.put_object("empty", b"")
+        data, _ = cluster.read_object("empty")
+        assert data == b""
