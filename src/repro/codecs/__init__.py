@@ -11,6 +11,11 @@ equivalent, self-contained codec:
 * :mod:`repro.codecs.bitio` / :mod:`repro.codecs.huffman` /
   :mod:`repro.codecs.rle` — entropy coding (run-length symbols + canonical
   Huffman codes).
+* :mod:`repro.codecs.fastpath` — the vectorized entropy fast path (two-level
+  LUT Huffman decode, word-buffered bit I/O, batched scan assembly), gated by
+  :mod:`repro.codecs.config`.  Read ``repro.codecs.FASTPATH`` for the current
+  setting; flip it with :func:`set_fastpath` or the :func:`use_fastpath`
+  context manager.  See ``docs/performance.md``.
 * :mod:`repro.codecs.baseline` — sequential, single-scan encoding.
 * :mod:`repro.codecs.progressive` — spectral-selection progressive encoding
   (default 10 scans), partially decodable.
@@ -18,17 +23,34 @@ equivalent, self-contained codec:
   (the ``jpegtran`` role in the paper).
 """
 
+from repro.codecs import config as _config
 from repro.codecs.baseline import BaselineCodec
+from repro.codecs.config import fastpath_enabled, set_fastpath, use_fastpath
 from repro.codecs.image import ImageBuffer
 from repro.codecs.progressive import ProgressiveCodec, ScanScript
 from repro.codecs.quantization import QuantizationTables
 from repro.codecs.transcode import transcode_to_progressive
 
+# NOTE: FASTPATH is deliberately not in __all__ — `from repro.codecs import
+# FASTPATH` would snapshot the bool at import time and go stale after
+# set_fastpath()/use_fastpath().  Read `repro.codecs.FASTPATH` (attribute
+# access, served live by __getattr__) or call fastpath_enabled() instead.
 __all__ = [
     "BaselineCodec",
     "ImageBuffer",
     "ProgressiveCodec",
     "QuantizationTables",
     "ScanScript",
+    "fastpath_enabled",
+    "set_fastpath",
     "transcode_to_progressive",
+    "use_fastpath",
 ]
+
+
+def __getattr__(name: str):
+    # ``repro.codecs.FASTPATH`` always reflects the live toggle in
+    # ``repro.codecs.config`` (assign via ``set_fastpath``, not this alias).
+    if name == "FASTPATH":
+        return _config.FASTPATH
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

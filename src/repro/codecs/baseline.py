@@ -5,6 +5,10 @@ scan, left-to-right and top-to-bottom.  Partially reading such a stream
 yields "holes" — complete blocks of early components and nothing for the
 rest — which is the behaviour the paper contrasts against progressive
 compression (Section 2, Figure 1).
+
+Entropy coding runs through the vectorized fast path (see
+:mod:`repro.codecs.fastpath`) via the scan dispatch in
+:mod:`repro.codecs.progressive`; toggle with :mod:`repro.codecs.config`.
 """
 
 from __future__ import annotations

@@ -1,6 +1,32 @@
-"""Bit-level writer and reader used by the entropy coder."""
+"""Bit-level writer and reader used by the entropy coder.
+
+Both classes are word-buffered: instead of moving one bit at a time they
+accumulate bits in a Python integer and move whole bytes with
+``int.to_bytes`` / ``int.from_bytes``.  The byte-level output format is
+unchanged from the original scalar implementation — MSB-first bit order,
+final partial byte padded with 1 bits (mirroring JPEG) — so streams written
+by either implementation are byte-identical.
+
+Invariants:
+
+* ``BitWriter`` keeps at most ``_FLUSH_BITS + 63`` pending bits in its
+  accumulator; whole bytes are flushed eagerly, so memory stays bounded.
+* ``BitReader._bitbuf`` always holds exactly ``_bitcnt`` valid bits (the
+  next bit to be read is its most significant bit).
+* ``peek_bits`` never consumes and never raises at end-of-stream: bits past
+  the end read as 1s, matching the writer's padding.  Consuming past the
+  end (``read_bits`` / ``skip_bits``) raises ``EOFError``.
+"""
 
 from __future__ import annotations
+
+#: Flush the writer's accumulator to bytes once it holds this many bits.
+#: Large enough that big-int shifts amortize well, small enough that the
+#: accumulator stays a few machine words.
+_FLUSH_BITS = 4096
+
+#: Number of bytes the reader loads per refill.
+_REFILL_BYTES = 8
 
 
 class BitWriter:
@@ -8,7 +34,7 @@ class BitWriter:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._current = 0
+        self._acc = 0
         self._n_bits = 0
 
     def write_bits(self, value: int, n_bits: int) -> None:
@@ -17,20 +43,45 @@ class BitWriter:
             raise ValueError("n_bits must be non-negative")
         if n_bits == 0:
             return
-        if value < 0 or value >= (1 << n_bits):
+        if value < 0 or value >> n_bits:
             raise ValueError(f"value {value} does not fit in {n_bits} bits")
-        for shift in range(n_bits - 1, -1, -1):
-            bit = (value >> shift) & 1
-            self._current = (self._current << 1) | bit
-            self._n_bits += 1
-            if self._n_bits == 8:
-                self._buffer.append(self._current)
-                self._current = 0
-                self._n_bits = 0
+        self._acc = (self._acc << n_bits) | value
+        self._n_bits += n_bits
+        if self._n_bits >= _FLUSH_BITS:
+            self._flush_whole_bytes()
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit."""
         self.write_bits(bit & 1, 1)
+
+    def write_many(self, values, widths) -> None:
+        """Append many ``(value, width)`` pairs in one buffered pass.
+
+        ``values[i]`` must already fit in ``widths[i]`` bits; no per-item
+        validation is performed (this is the batch fast path).
+        """
+        acc = self._acc
+        n_bits = self._n_bits
+        buffer = self._buffer
+        for value, width in zip(values, widths):
+            acc = (acc << width) | value
+            n_bits += width
+            if n_bits >= _FLUSH_BITS:
+                rem = n_bits & 7
+                whole = n_bits - rem
+                buffer += (acc >> rem).to_bytes(whole >> 3, "big")
+                acc &= (1 << rem) - 1
+                n_bits = rem
+        self._acc = acc
+        self._n_bits = n_bits
+
+    def _flush_whole_bytes(self) -> None:
+        rem = self._n_bits & 7
+        whole = self._n_bits - rem
+        if whole:
+            self._buffer += (self._acc >> rem).to_bytes(whole >> 3, "big")
+            self._acc &= (1 << rem) - 1
+            self._n_bits = rem
 
     def getvalue(self) -> bytes:
         """Return the accumulated bytes, padding the final byte with 1s.
@@ -38,15 +89,16 @@ class BitWriter:
         Padding with 1 bits mirrors JPEG; a decoder that knows the symbol
         count never consumes padding as data.
         """
+        self._flush_whole_bytes()
         data = bytes(self._buffer)
         if self._n_bits:
             pad = 8 - self._n_bits
-            last = (self._current << pad) | ((1 << pad) - 1)
+            last = (self._acc << pad) | ((1 << pad) - 1)
             data += bytes([last])
         return data
 
     def __len__(self) -> int:
-        return len(self._buffer) + (1 if self._n_bits else 0)
+        return len(self._buffer) + ((self._n_bits + 7) >> 3)
 
 
 class BitReader:
@@ -54,29 +106,73 @@ class BitReader:
 
     def __init__(self, data: bytes) -> None:
         self._data = data
-        self._byte_pos = 0
-        self._bit_pos = 0
+        self._pos = 0  # next byte offset to load into the buffer
+        self._bitbuf = 0
+        self._bitcnt = 0  # valid (unconsumed) bits currently buffered
+        self._total_bits = len(data) * 8
+        self._consumed = 0
 
     @property
     def exhausted(self) -> bool:
         """True if no complete bit remains."""
-        return self._byte_pos >= len(self._data)
+        return self._consumed >= self._total_bits
+
+    def bits_remaining(self) -> int:
+        """Number of unconsumed bits left in the stream."""
+        return self._total_bits - self._consumed
+
+    def _refill(self, n_bits: int) -> None:
+        data = self._data
+        pos = self._pos
+        while self._bitcnt < n_bits:
+            chunk = data[pos : pos + _REFILL_BYTES]
+            if not chunk:
+                break
+            pos += len(chunk)
+            self._bitbuf = (self._bitbuf << (len(chunk) * 8)) | int.from_bytes(chunk, "big")
+            self._bitcnt += len(chunk) * 8
+        self._pos = pos
+
+    def peek_bits(self, n_bits: int) -> int:
+        """Return the next ``n_bits`` without consuming them.
+
+        Bits past the end of the stream read as 1s (the writer's padding),
+        so peeking near the end never raises.
+        """
+        bitcnt = self._bitcnt
+        if bitcnt < n_bits:
+            self._refill(n_bits)
+            bitcnt = self._bitcnt
+            if bitcnt < n_bits:
+                pad = n_bits - bitcnt
+                return (self._bitbuf << pad) | ((1 << pad) - 1)
+        return self._bitbuf >> (bitcnt - n_bits)
+
+    def skip_bits(self, n_bits: int) -> None:
+        """Consume ``n_bits`` previously peeked bits."""
+        if self._bitcnt < n_bits:
+            self._refill(n_bits)
+            if self._bitcnt < n_bits:
+                raise EOFError("bit stream exhausted")
+        self._bitcnt -= n_bits
+        self._bitbuf &= (1 << self._bitcnt) - 1
+        self._consumed += n_bits
 
     def read_bit(self) -> int:
         """Read a single bit; raises ``EOFError`` when the stream ends."""
-        if self._byte_pos >= len(self._data):
-            raise EOFError("bit stream exhausted")
-        byte = self._data[self._byte_pos]
-        bit = (byte >> (7 - self._bit_pos)) & 1
-        self._bit_pos += 1
-        if self._bit_pos == 8:
-            self._bit_pos = 0
-            self._byte_pos += 1
-        return bit
+        return self.read_bits(1)
 
     def read_bits(self, n_bits: int) -> int:
         """Read ``n_bits`` bits MSB-first and return them as an integer."""
-        value = 0
-        for _ in range(n_bits):
-            value = (value << 1) | self.read_bit()
+        if n_bits == 0:
+            return 0
+        if self._bitcnt < n_bits:
+            self._refill(n_bits)
+            if self._bitcnt < n_bits:
+                raise EOFError("bit stream exhausted")
+        bitcnt = self._bitcnt - n_bits
+        value = self._bitbuf >> bitcnt
+        self._bitbuf &= (1 << bitcnt) - 1
+        self._bitcnt = bitcnt
+        self._consumed += n_bits
         return value

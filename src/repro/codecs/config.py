@@ -1,0 +1,43 @@
+"""Runtime toggle for the vectorized entropy-codec fast path.
+
+``FASTPATH`` gates the table-driven encoder/decoder in
+:mod:`repro.codecs.fastpath`.  It defaults to on; set the environment
+variable ``REPRO_CODEC_FASTPATH=0`` (before import) or call
+:func:`set_fastpath` / :func:`use_fastpath` to fall back to the scalar
+reference implementation, which is kept for differential testing.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+FASTPATH: bool = os.environ.get("REPRO_CODEC_FASTPATH", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def fastpath_enabled() -> bool:
+    """Return whether the fast path is currently enabled."""
+    return FASTPATH
+
+
+def set_fastpath(enabled: bool) -> None:
+    """Enable or disable the fast path globally."""
+    global FASTPATH
+    FASTPATH = bool(enabled)
+
+
+@contextmanager
+def use_fastpath(enabled: bool):
+    """Temporarily force the fast path on or off within a ``with`` block."""
+    global FASTPATH
+    previous = FASTPATH
+    FASTPATH = bool(enabled)
+    try:
+        yield
+    finally:
+        FASTPATH = previous

@@ -1,0 +1,300 @@
+"""Table-driven fast path for scan-level entropy coding.
+
+This module is the vectorized counterpart of the scalar scan coder in
+:mod:`repro.codecs.progressive`:
+
+* Encoding turns a whole coefficient plane into ``(symbol, bits, width)``
+  arrays with NumPy (see :mod:`repro.codecs.rle`), builds the scan's
+  optimized Huffman table from a single ``bincount``, fuses each symbol's
+  code with its magnitude bits, and hands the batch to
+  ``BitWriter.write_many``.
+* Decoding resolves symbols through the two-level Huffman LUT
+  (``peek_bits``/``skip_bits`` on the word-buffered reader) and defers all
+  coefficient-plane writes to one vectorized scatter per component instead
+  of a Python slice assignment per block.
+
+Both directions produce byte-identical streams / identical coefficients to
+the scalar reference — that property is enforced by the differential tests
+in ``tests/test_codecs_fastpath.py``.  The dispatch lives in
+:mod:`repro.codecs.progressive`, gated by :mod:`repro.codecs.config`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.bitio import BitWriter
+from repro.codecs.huffman import HuffmanTable
+from repro.codecs.rle import (
+    ac_symbol_arrays,
+    dc_symbol_arrays,
+    mixed_symbol_arrays,
+)
+
+__all__ = ["encode_scan_body_fast", "decode_scan_body_fast"]
+
+
+def _scan_symbol_arrays(plane: np.ndarray, spectral_start: int, spectral_end: int):
+    if spectral_start == 0 and spectral_end == 0:
+        return dc_symbol_arrays(plane[:, 0])
+    if spectral_start == 0:
+        return mixed_symbol_arrays(plane, spectral_end)
+    return ac_symbol_arrays(plane[:, spectral_start : spectral_end + 1])
+
+
+def encode_scan_body_fast(coefficients, scan) -> bytes:
+    """Entropy-code one scan (table + bits), byte-identical to the scalar path."""
+    per_component = []
+    symbol_counts = np.zeros(256, dtype=np.int64)
+    for component in scan.component_ids:
+        plane = coefficients.planes[component]
+        arrays = _scan_symbol_arrays(plane, scan.spectral_start, scan.spectral_end)
+        per_component.append(arrays)
+        if arrays[0].size:
+            symbol_counts += np.bincount(arrays[0], minlength=256)
+    present = np.nonzero(symbol_counts)[0]
+    table = HuffmanTable.from_counts(
+        dict(zip(present.tolist(), symbol_counts[present].tolist()))
+    )
+    codes, lengths = table.encode_arrays()
+    code_array = np.asarray(codes, dtype=np.int64)
+    length_array = np.asarray(lengths, dtype=np.int64)
+    writer = BitWriter()
+    for symbols, bits, n_bits in per_component:
+        values = (code_array[symbols] << n_bits) | bits
+        widths = length_array[symbols] + n_bits
+        # Fuse adjacent (value, width) pairs so the writer loop runs half as
+        # many iterations.  Safe whenever a single item is at most 31 bits
+        # (always true for AC symbols; only pathological DC magnitudes can
+        # exceed it), since two fused items then fit in an int64.
+        n_items = values.shape[0]
+        if n_items > 1 and int(widths.max()) <= 31:
+            head = n_items & ~1
+            fused_values = (values[0:head:2] << widths[1:head:2]) | values[1:head:2]
+            fused_widths = widths[0:head:2] + widths[1:head:2]
+            if head != n_items:
+                fused_values = np.append(fused_values, values[-1])
+                fused_widths = np.append(fused_widths, widths[-1])
+            values, widths = fused_values, fused_widths
+        writer.write_many(values.tolist(), widths.tolist())
+    return table.to_bytes() + writer.getvalue()
+
+
+#: Low-bit masks indexed by width.  Sized generously: the refill guard masks
+#: at ``bitcnt`` (which can reach ``consume + 63`` while buffering an
+#: oversized DC magnitude, ``consume <= 271``) and magnitude extraction
+#: indexes by category (<= 255 for pathological DC tables).
+_MASKS = tuple((1 << n) - 1 for n in range(1024))
+
+#: ``1 << (category - 1)`` — the positive/negative threshold of a magnitude
+#: field, indexed by category (0 unused).
+_HALVES = (0,) + tuple(1 << (n - 1) for n in range(1, 1024))
+
+#: Bytes of 1-padding appended to a scan payload before decoding.  The
+#: refill sites assume every ``padded[pos:pos+8]`` slice is full-width; on a
+#: valid stream the reader never runs more than ~50 bytes past the true
+#: payload (32-bit guard + one oversized-DC refill), so 64 pad bytes make
+#: that assumption safe without per-refill bounds checks.  The 1-bits match
+#: the writer's end-of-stream padding.  A corrupt stream that decodes into
+#: the padding is caught by the consumed-bits check after the scan (the
+#: block loops themselves are bounded, so garbage cannot loop forever).
+_PAD = b"\xff" * 64
+
+
+def decode_scan_body_fast(data: bytes, segment, coefficients) -> None:
+    """Decode one scan segment into ``coefficients`` (in place).
+
+    The per-symbol loop stays in Python (a bit stream is sequential), but
+    every other cost is folded away: the bit buffer lives in local integers
+    refilled 8 bytes at a time via ``int.from_bytes``; each symbol costs one
+    two-level probe of a *fused* LUT whose entry packs the zero-run, the
+    magnitude category, and the combined bit consumption of code plus
+    magnitude (EOB is a run of 64, so it terminates the block loop through
+    the ordinary run arithmetic — no per-symbol marker branches); and
+    decoded values are scattered into the flattened plane with one
+    fancy-indexed assignment per component instead of a slice write per
+    block.
+
+    Contract: the in-band coefficients of the target planes must be zero
+    (as produced by ``empty_coefficients``) — zero coefficients are never
+    written, only the nonzero scatter.  Every caller decodes into fresh
+    planes, and valid scan scripts cover each coefficient exactly once.
+
+    Divergence from the scalar reference, on *invalid* streams only: a
+    symbol with a zero category and a nonzero run (never emitted by either
+    encoder) is treated as a pure zero-run, and a stream truncated
+    mid-symbol may surface as ``EOFError`` after the scan (from the
+    consumed-bits check) rather than at the exact offending bit.
+
+    The three scan shapes (DC-only, AC-only, mixed) get specialized block
+    loops so the per-block work carries no dead branches.
+    """
+    scan = segment.header
+    table, consumed = HuffmanTable.cached_from_bytes(
+        data[segment.payload_start : segment.end]
+    )
+    payload = data[segment.payload_start + consumed : segment.end]
+    n_payload_bits = len(payload) * 8
+    padded = payload + _PAD
+    tables = table.scan_tables()
+    ac1 = tables.ac_primary
+    ac2 = tables.ac_secondary
+    dc1 = tables.dc_primary
+    dc2 = tables.dc_secondary
+    masks = _MASKS
+    halves = _HALVES
+    from_bytes = int.from_bytes
+    # Inlined word-buffered reader state: `bitbuf` holds `bitcnt` valid low
+    # bits (possibly with consumed garbage above them — every extraction
+    # masks), `pos` is the next byte to load.
+    pos = 0
+    bitbuf = 0
+    bitcnt = 0
+    spectral_start = scan.spectral_start
+    spectral_end = scan.spectral_end
+    decode_dc = spectral_start == 0
+    decode_ac = spectral_end > 0
+    band_start = 1 if decode_dc else spectral_start
+    band_length = spectral_end - band_start + 1
+    for component in scan.component_ids:
+        plane = coefficients.planes[component]
+        n_blocks = plane.shape[0]
+        dc_diffs: list[int] = []
+        positions: list[int] = []
+        values: list[int] = []
+        append_diff = dc_diffs.append
+        append_position = positions.append
+        append_value = values.append
+        # `block_base` walks the flat (row-major) offset of each block's
+        # first in-band coefficient, so scatter positions are single adds.
+        if not decode_ac:  # DC-only scan
+            for _ in range(n_blocks):
+                if bitcnt < 32:
+                    bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
+                        padded[pos : pos + 8], "big"
+                    )
+                    pos += 8
+                    bitcnt += 64
+                entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                if entry <= 0:
+                    if entry == 0:
+                        raise ValueError("invalid Huffman code in bit stream")
+                    entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                    if entry == 0:
+                        raise ValueError("invalid Huffman code in bit stream")
+                consume = entry & 0xFFF
+                while consume > bitcnt:  # oversized DC magnitude (rare)
+                    chunk = padded[pos : pos + 8]
+                    if not chunk:
+                        raise EOFError("bit stream exhausted")
+                    pos += len(chunk)
+                    bitbuf = ((bitbuf & masks[bitcnt]) << (len(chunk) << 3)) | from_bytes(
+                        chunk, "big"
+                    )
+                    bitcnt += len(chunk) << 3
+                bitcnt -= consume
+                category = entry >> 12
+                if category:
+                    mask = masks[category]
+                    bits = (bitbuf >> bitcnt) & mask
+                    append_diff(bits if bits >= halves[category] else bits - mask)
+                else:
+                    append_diff(0)
+        elif not decode_dc:  # AC-only scan (the common progressive shape)
+            for block_base in range(band_start, band_start + (n_blocks << 6), 64):
+                index = 0
+                while index < band_length:
+                    if bitcnt < 32:
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
+                            padded[pos : pos + 8], "big"
+                        )
+                        pos += 8
+                        bitcnt += 64
+                    entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                    if entry <= 0:
+                        if entry == 0:
+                            raise ValueError("invalid Huffman code in bit stream")
+                        entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                        if entry == 0:
+                            raise ValueError("invalid Huffman code in bit stream")
+                    bitcnt -= entry & 0x3F
+                    index += entry >> 12
+                    category = (entry >> 6) & 0x3F
+                    if category:
+                        mask = masks[category]
+                        bits = (bitbuf >> bitcnt) & mask
+                        if index >= band_length:
+                            raise ValueError("AC run overflows band length")
+                        append_position(block_base + index)
+                        append_value(bits if bits >= halves[category] else bits - mask)
+                        index += 1
+        else:  # mixed scan: DC delta then the AC band, per block
+            for block_base in range(band_start, band_start + (n_blocks << 6), 64):
+                if bitcnt < 32:
+                    bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
+                        padded[pos : pos + 8], "big"
+                    )
+                    pos += 8
+                    bitcnt += 64
+                entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                if entry <= 0:
+                    if entry == 0:
+                        raise ValueError("invalid Huffman code in bit stream")
+                    entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                    if entry == 0:
+                        raise ValueError("invalid Huffman code in bit stream")
+                consume = entry & 0xFFF
+                while consume > bitcnt:
+                    chunk = padded[pos : pos + 8]
+                    if not chunk:
+                        raise EOFError("bit stream exhausted")
+                    pos += len(chunk)
+                    bitbuf = ((bitbuf & masks[bitcnt]) << (len(chunk) << 3)) | from_bytes(
+                        chunk, "big"
+                    )
+                    bitcnt += len(chunk) << 3
+                bitcnt -= consume
+                category = entry >> 12
+                if category:
+                    mask = masks[category]
+                    bits = (bitbuf >> bitcnt) & mask
+                    append_diff(bits if bits >= halves[category] else bits - mask)
+                else:
+                    append_diff(0)
+                index = 0
+                while index < band_length:
+                    if bitcnt < 32:
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
+                            padded[pos : pos + 8], "big"
+                        )
+                        pos += 8
+                        bitcnt += 64
+                    entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                    if entry <= 0:
+                        if entry == 0:
+                            raise ValueError("invalid Huffman code in bit stream")
+                        entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                        if entry == 0:
+                            raise ValueError("invalid Huffman code in bit stream")
+                    bitcnt -= entry & 0x3F
+                    index += entry >> 12
+                    category = (entry >> 6) & 0x3F
+                    if category:
+                        mask = masks[category]
+                        bits = (bitbuf >> bitcnt) & mask
+                        if index >= band_length:
+                            raise ValueError("AC run overflows band length")
+                        append_position(block_base + index)
+                        append_value(bits if bits >= halves[category] else bits - mask)
+                        index += 1
+        if decode_dc:
+            plane[:, 0] = np.cumsum(np.asarray(dc_diffs, dtype=np.int64))
+        if positions:
+            position_array = np.asarray(positions, dtype=np.intp)
+            value_array = np.asarray(values, dtype=np.int64)
+            if plane.flags.c_contiguous:
+                plane.reshape(-1)[position_array] = value_array
+            else:
+                plane[position_array >> 6, position_array & 63] = value_array
+    if pos * 8 - bitcnt > n_payload_bits:
+        raise EOFError("bit stream exhausted")

@@ -4,18 +4,65 @@ Each scan in the PCR codec carries an optimized Huffman table for its symbol
 alphabet (mirroring ``jpegtran -optimize``).  Tables are serialized in
 canonical form: a list of code lengths followed by the symbols ordered by
 (length, symbol value), which is the same structure as a JPEG DHT segment.
+
+Decoding has two implementations over the same tables:
+
+* ``decode_symbol`` — the scalar reference: one bit at a time, probing the
+  ``(code, length)`` dict at each length.  Kept for differential testing.
+* ``decode_symbol_fast`` — a two-level lookup table.  The primary table is
+  indexed by the next ``LUT_BITS`` (8) stream bits and resolves every code of
+  length <= 8 in one probe; longer codes land in a per-prefix secondary
+  table indexed by the following 8 bits (``MAX_CODE_LENGTH`` is 16, so two
+  levels always suffice).  Entries pack ``(code_length << 8) | symbol``; 0
+  marks an invalid prefix, negative values point at a secondary table.
+
+LUTs and encode arrays are cached per canonical table content (module-level,
+bounded), so decoding many scans/records that share a table — or re-decoding
+the same record — never rebuilds them.
 """
 
 from __future__ import annotations
 
 import heapq
 import struct
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.codecs.bitio import BitReader, BitWriter
 
 MAX_CODE_LENGTH = 16
+
+#: Width of the primary decode LUT index.
+LUT_BITS = 8
+
+#: Bound on the module-level LUT/encode-array caches (FIFO eviction).
+_CACHE_MAX_ENTRIES = 1024
+
+#: Canonical-content key -> built decode tables (see ``_TableSet``).
+_TABLE_CACHE: dict[tuple, "_TableSet"] = {}
+
+#: Serialized-payload key -> ``(HuffmanTable, bytes_consumed)``; lets scan
+#: decoders skip deserialization *and* LUT construction when the same table
+#: bytes recur across scans, records, or repeated decodes of one stream.
+_PAYLOAD_CACHE: dict[bytes, tuple["HuffmanTable", int]] = {}
+
+#: Guards eviction+insert on the module caches: DataLoader workers decode on
+#: multiple threads, and unsynchronized evictions can race into KeyError.
+_CACHE_LOCK = threading.Lock()
+
+
+def _cache_put(cache: dict, key, value) -> None:
+    """Insert into a bounded module cache with FIFO eviction, thread-safely.
+
+    Plain ``dict`` reads are GIL-atomic; only the evict-then-insert pair
+    needs the lock.  Two threads building the same entry concurrently is
+    benign (last write wins with an equivalent value).
+    """
+    with _CACHE_LOCK:
+        if len(cache) >= _CACHE_MAX_ENTRIES:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
 
 
 @dataclass
@@ -25,6 +72,10 @@ class HuffmanTable:
     code_lengths: dict[int, int]
     _encode_map: dict[int, tuple[int, int]] = field(default_factory=dict, repr=False)
     _decode_map: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    _tables: "_TableSet | None" = field(default=None, repr=False, compare=False)
+    _encode_arrays: "tuple[list[int], list[int]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._build_codes()
@@ -35,6 +86,8 @@ class HuffmanTable:
         previous_length = 0
         self._encode_map.clear()
         self._decode_map.clear()
+        self._tables = None
+        self._encode_arrays = None
         for symbol, length in ordered:
             code <<= length - previous_length
             previous_length = length
@@ -45,15 +98,26 @@ class HuffmanTable:
     @classmethod
     def from_symbols(cls, symbols: list[int]) -> "HuffmanTable":
         """Build an optimal (length-limited) code from observed symbols."""
-        if not symbols:
+        return cls.from_counts(Counter(symbols))
+
+    @classmethod
+    def from_counts(cls, counts: Counter | dict[int, int]) -> "HuffmanTable":
+        """Build an optimal code from a symbol-frequency mapping.
+
+        Zero-count entries are ignored; produces the identical table to
+        ``from_symbols`` on the underlying symbol sequence.
+        """
+        counts = Counter({s: c for s, c in counts.items() if c > 0})
+        if not counts:
             # A table still needs at least one symbol to be serializable.
             return cls(code_lengths={0: 1})
-        counts = Counter(symbols)
         if len(counts) == 1:
             only = next(iter(counts))
             return cls(code_lengths={only: 1})
         lengths = _package_merge_lengths(counts, MAX_CODE_LENGTH)
         return cls(code_lengths=lengths)
+
+    # -- scalar reference paths ------------------------------------------------
 
     def encode_symbol(self, symbol: int, writer: BitWriter) -> None:
         """Write the code for ``symbol`` to ``writer``."""
@@ -64,7 +128,7 @@ class HuffmanTable:
         writer.write_bits(code, length)
 
     def decode_symbol(self, reader: BitReader) -> int:
-        """Read one symbol from ``reader``."""
+        """Read one symbol from ``reader`` (scalar reference path)."""
         code = 0
         for length in range(1, MAX_CODE_LENGTH + 1):
             code = (code << 1) | reader.read_bit()
@@ -73,22 +137,95 @@ class HuffmanTable:
                 return symbol
         raise ValueError("invalid Huffman code in bit stream")
 
+    # -- table-driven fast paths -----------------------------------------------
+
+    def decode_tables(self) -> tuple[list[int], list[list[int]]]:
+        """Return the ``(symbol, length)``-packed (primary, secondary) LUTs."""
+        tables = self._table_set()
+        return tables.sym_primary, tables.sym_secondary
+
+    def scan_tables(self) -> "_TableSet":
+        """Return the full table set, including the fused AC/DC scan LUTs."""
+        return self._table_set()
+
+    def encode_arrays(self) -> tuple[list[int], list[int]]:
+        """Return per-symbol ``(codes, lengths)`` arrays indexed by symbol.
+
+        Absent symbols have length 0; callers encode only symbols that were
+        counted into the table, so a 0 length is never hit on valid input.
+        Built directly from the code map (not via the decode-LUT cache):
+        encoding uses a fresh optimized table per scan, where paying the LUT
+        fill cost would be pure waste.
+        """
+        if self._encode_arrays is None:
+            codes = [0] * 256
+            lengths = [0] * 256
+            for symbol, (code, length) in self._encode_map.items():
+                codes[symbol] = code
+                lengths[symbol] = length
+            self._encode_arrays = (codes, lengths)
+        return self._encode_arrays
+
+    def _table_set(self) -> "_TableSet":
+        if self._tables is None:
+            key = tuple(sorted(self.code_lengths.items()))
+            cached = _TABLE_CACHE.get(key)
+            if cached is None:
+                cached = _build_table_set(self._encode_map)
+                _cache_put(_TABLE_CACHE, key, cached)
+            self._tables = cached
+        return self._tables
+
+    def decode_symbol_fast(self, reader: BitReader) -> int:
+        """Read one symbol via the two-level LUT."""
+        lut, lut2 = self.decode_tables()
+        word = reader.peek_bits(16)
+        entry = lut[word >> 8]
+        if entry < 0:
+            entry = lut2[-entry - 1][word & 0xFF]
+        if entry == 0:
+            raise ValueError("invalid Huffman code in bit stream")
+        reader.skip_bits(entry >> 8)
+        return entry & 0xFF
+
+    def encode_symbols(
+        self,
+        symbols,
+        extras,
+        writer: BitWriter,
+    ) -> None:
+        """Huffman-encode ``symbols`` with their ``(bits, n_bits)`` extras.
+
+        Batched equivalent of ``encode_symbol`` + ``write_bits`` per item:
+        each symbol's code and its magnitude bits are fused into a single
+        ``(value, width)`` append on the writer.
+        """
+        codes, lengths = self.encode_arrays()
+        values = []
+        widths = []
+        for symbol, (bits, n_bits) in zip(symbols, extras):
+            length = lengths[symbol]
+            if length == 0:
+                raise KeyError(f"symbol {symbol} not present in Huffman table")
+            values.append((codes[symbol] << n_bits) | bits)
+            widths.append(length + n_bits)
+        writer.write_many(values, widths)
+
+    # -- serialization ---------------------------------------------------------
+
     def code_length(self, symbol: int) -> int:
         """Return the code length of ``symbol`` in bits."""
         return self.code_lengths[symbol]
 
     def to_bytes(self) -> bytes:
         """Serialize as a DHT-style segment: 16 length counts + symbols."""
-        by_length: dict[int, list[int]] = {}
-        for symbol, length in self.code_lengths.items():
-            by_length.setdefault(length, []).append(symbol)
-        counts = bytes(
-            len(by_length.get(length, [])) for length in range(1, MAX_CODE_LENGTH + 1)
-        )
-        symbols = bytearray()
-        for length in range(1, MAX_CODE_LENGTH + 1):
-            symbols.extend(sorted(by_length.get(length, [])))
-        return struct.pack("<H", len(symbols)) + counts + bytes(symbols)
+        ordered = sorted(self.code_lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        counts = [0] * MAX_CODE_LENGTH
+        symbols = bytearray(len(ordered))
+        for index, (symbol, length) in enumerate(ordered):
+            counts[length - 1] += 1
+            symbols[index] = symbol
+        return struct.pack("<H", len(ordered)) + bytes(counts) + bytes(symbols)
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> tuple["HuffmanTable", int]:
@@ -110,6 +247,116 @@ class HuffmanTable:
                 cursor += 1
         return cls(code_lengths=code_lengths), symbols_end
 
+    @classmethod
+    def cached_from_bytes(cls, payload: bytes) -> tuple["HuffmanTable", int]:
+        """Like :meth:`from_bytes`, but cached on the serialized table bytes.
+
+        Repeated decodes of scans that carry the same table (across records,
+        or re-decoding one stream) reuse the deserialized table *with its
+        LUTs already built*.  The returned table must be treated as
+        read-only.
+        """
+        if len(payload) < 2 + MAX_CODE_LENGTH:
+            raise ValueError("Huffman table payload too short")
+        (n_symbols,) = struct.unpack("<H", payload[:2])
+        key = bytes(payload[: 2 + MAX_CODE_LENGTH + n_symbols])
+        cached = _PAYLOAD_CACHE.get(key)
+        if cached is None:
+            table, consumed = cls.from_bytes(payload)
+            table._table_set()
+            cached = (table, consumed)
+            _cache_put(_PAYLOAD_CACHE, key, cached)
+        return cached
+
+
+@dataclass(frozen=True)
+class _TableSet:
+    """All derived decode tables for one canonical Huffman code.
+
+    Three packings of the same two-level (8-bit primary, 8-bit secondary)
+    LUT coexist, each tuned to one decode loop.  In every flavour, entry 0
+    marks an invalid prefix and a negative primary entry ``-(i + 1)`` points
+    at secondary table ``i``:
+
+    * ``sym_*`` — ``(code_length << 8) | symbol``: the generic form used by
+      :meth:`HuffmanTable.decode_symbol_fast`.
+    * ``ac_*`` — ``(run << 12) | (category << 6) | (code_length + category)``
+      with EOB mapped to ``run = 64`` (jumps past any band and ends the
+      block loop without a branch) and ZRL to ``run = 16``.  The low field
+      is the *fused* bit consumption of the code plus its magnitude bits.
+    * ``dc_*`` — ``(category << 12) | (code_length + category)`` where the
+      category is the full symbol value (DC deltas have no run nibble).
+    """
+
+    sym_primary: list[int]
+    sym_secondary: list[list[int]]
+    ac_primary: list[int]
+    ac_secondary: list[list[int]]
+    dc_primary: list[int]
+    dc_secondary: list[list[int]]
+
+
+def _build_table_set(encode_map: dict[int, tuple[int, int]]) -> _TableSet:
+    """Build all decode LUT flavours from a code map.
+
+    The prefix property of Huffman codes guarantees a primary slot is either
+    filled by exactly one short code or is the 8-bit prefix of only long
+    codes, so the fill ranges never collide.
+    """
+    secondary_width = 1 << (MAX_CODE_LENGTH - LUT_BITS)
+    sym_primary = [0] * (1 << LUT_BITS)
+    ac_primary = [0] * (1 << LUT_BITS)
+    dc_primary = [0] * (1 << LUT_BITS)
+    sym_secondary: list[list[int]] = []
+    ac_secondary: list[list[int]] = []
+    dc_secondary: list[list[int]] = []
+    prefix_to_secondary: dict[int, int] = {}
+    for symbol, (code, length) in encode_map.items():
+        sym_entry = (length << 8) | symbol
+        if symbol == 0x00:  # EOB: jump past any band
+            ac_run, ac_category = 64, 0
+        elif symbol == 0xF0:  # ZRL: skip 16 zeros
+            ac_run, ac_category = 16, 0
+        else:
+            ac_run, ac_category = symbol >> 4, symbol & 0x0F
+        ac_entry = (ac_run << 12) | (ac_category << 6) | (length + ac_category)
+        dc_entry = (symbol << 12) | (length + symbol)
+        if length <= LUT_BITS:
+            base = code << (LUT_BITS - length)
+            span = 1 << (LUT_BITS - length)
+            for index in range(base, base + span):
+                sym_primary[index] = sym_entry
+                ac_primary[index] = ac_entry
+                dc_primary[index] = dc_entry
+        else:
+            prefix = code >> (length - LUT_BITS)
+            table_index = prefix_to_secondary.get(prefix)
+            if table_index is None:
+                table_index = len(sym_secondary)
+                prefix_to_secondary[prefix] = table_index
+                sym_secondary.append([0] * secondary_width)
+                ac_secondary.append([0] * secondary_width)
+                dc_secondary.append([0] * secondary_width)
+                pointer = -(table_index + 1)
+                sym_primary[prefix] = pointer
+                ac_primary[prefix] = pointer
+                dc_primary[prefix] = pointer
+            tail = code & ((1 << (length - LUT_BITS)) - 1)
+            base = tail << (MAX_CODE_LENGTH - length)
+            span = 1 << (MAX_CODE_LENGTH - length)
+            for index in range(base, base + span):
+                sym_secondary[table_index][index] = sym_entry
+                ac_secondary[table_index][index] = ac_entry
+                dc_secondary[table_index][index] = dc_entry
+    return _TableSet(
+        sym_primary=sym_primary,
+        sym_secondary=sym_secondary,
+        ac_primary=ac_primary,
+        ac_secondary=ac_secondary,
+        dc_primary=dc_primary,
+        dc_secondary=dc_secondary,
+    )
+
 
 def _package_merge_lengths(counts: Counter, max_length: int) -> dict[int, int]:
     """Compute length-limited Huffman code lengths.
@@ -128,16 +375,31 @@ def _package_merge_lengths(counts: Counter, max_length: int) -> dict[int, int]:
 
 
 def _plain_huffman_lengths(counts: Counter) -> dict[int, int]:
-    heap: list[tuple[int, int, list[int]]] = []
-    for tie_break, (symbol, count) in enumerate(sorted(counts.items())):
-        heapq.heappush(heap, (count, tie_break, [symbol]))
-    lengths = dict.fromkeys(counts, 0)
-    next_tie = len(counts)
+    """Huffman code lengths via parent-pointer tree construction.
+
+    Tie-breaking matches the original list-merging formulation (stable
+    (count, insertion-order) heap keys), so the resulting lengths — and
+    therefore the canonical tables — are unchanged.
+    """
+    ordered = sorted(counts.items())
+    n_leaves = len(ordered)
+    heap = [(count, node, node) for node, (_, count) in enumerate(ordered)]
+    heapq.heapify(heap)
+    parents: dict[int, int] = {}
+    next_node = n_leaves
     while len(heap) > 1:
-        count_a, _, symbols_a = heapq.heappop(heap)
-        count_b, _, symbols_b = heapq.heappop(heap)
-        for symbol in symbols_a + symbols_b:
-            lengths[symbol] += 1
-        heapq.heappush(heap, (count_a + count_b, next_tie, symbols_a + symbols_b))
-        next_tie += 1
+        count_a, _, node_a = heapq.heappop(heap)
+        count_b, _, node_b = heapq.heappop(heap)
+        parents[node_a] = next_node
+        parents[node_b] = next_node
+        heapq.heappush(heap, (count_a + count_b, next_node, next_node))
+        next_node += 1
+    lengths: dict[int, int] = {}
+    for leaf, (symbol, _) in enumerate(ordered):
+        depth = 0
+        node = leaf
+        while node in parents:
+            node = parents[node]
+            depth += 1
+        lengths[symbol] = depth
     return lengths

@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.codecs import config as codec_config
 from repro.codecs.bitio import BitReader, BitWriter
+from repro.codecs.fastpath import decode_scan_body_fast, encode_scan_body_fast
 from repro.codecs.blocks import block_grid_shape, merge_blocks, split_into_blocks
 from repro.codecs.color import (
     rgb_to_ycbcr,
@@ -221,7 +223,19 @@ def empty_coefficients(header: FrameHeader) -> CoefficientPlanes:
 
 
 def _encode_scan_body(coefficients: CoefficientPlanes, scan: ScanHeader) -> bytes:
-    """Entropy-code one scan: optimized Huffman table followed by the bits."""
+    """Entropy-code one scan: optimized Huffman table followed by the bits.
+
+    Dispatches to the vectorized fast path unless it is disabled via
+    :mod:`repro.codecs.config`; both implementations emit byte-identical
+    segments.
+    """
+    if codec_config.FASTPATH:
+        return encode_scan_body_fast(coefficients, scan)
+    return _encode_scan_body_scalar(coefficients, scan)
+
+
+def _encode_scan_body_scalar(coefficients: CoefficientPlanes, scan: ScanHeader) -> bytes:
+    """Scalar reference encoder (per-coefficient Python loops)."""
     all_symbols: list[int] = []
     per_component: list[tuple[list[int], list[tuple[int, int]]]] = []
     for component in scan.component_ids:
@@ -268,6 +282,18 @@ def _decode_scan_body(
     coefficients: CoefficientPlanes,
 ) -> None:
     """Decode one scan segment into ``coefficients`` (in place)."""
+    if codec_config.FASTPATH:
+        decode_scan_body_fast(data, segment, coefficients)
+        return
+    _decode_scan_body_scalar(data, segment, coefficients)
+
+
+def _decode_scan_body_scalar(
+    data: bytes,
+    segment: ScanSegment,
+    coefficients: CoefficientPlanes,
+) -> None:
+    """Scalar reference decoder (bit-at-a-time Huffman probing)."""
     scan = segment.header
     table, consumed = HuffmanTable.from_bytes(data[segment.payload_start : segment.end])
     reader = BitReader(data[segment.payload_start + consumed : segment.end])

@@ -9,9 +9,17 @@ used here for both baseline and progressive (spectral-selection) scans:
 * AC coefficients in a band ``[ss, se]`` use symbols ``(run << 4) | size``
   with the special symbols ``EOB`` (0x00, rest of band is zero) and ``ZRL``
   (0xF0, a run of 16 zeros).
+
+Two implementations coexist: the original scalar per-coefficient functions
+(the differential-testing reference) and NumPy-vectorized ``*_symbol_arrays``
+functions that emit the identical symbol stream for an entire coefficient
+plane at once — zero runs, ZRL expansion, and end-of-band markers are all
+computed with array ops over the plane's nonzero entries.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.codecs.bitio import BitReader, BitWriter
 from repro.codecs.huffman import HuffmanTable
@@ -111,6 +119,148 @@ def read_dc_values(
         previous += decode_magnitude(bits, category)
         values.append(previous)
     return values
+
+
+def magnitude_categories(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_category` over an int array."""
+    _, exponents = np.frexp(np.abs(values).astype(np.float64))
+    return exponents.astype(np.int64)
+
+
+def magnitude_bits_array(values: np.ndarray, categories: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_bits` (categories from the values)."""
+    return np.where(values >= 0, values, values + (1 << categories) - 1)
+
+
+def dc_symbol_arrays(
+    dc_values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`dc_symbols`: returns ``(symbols, bits, n_bits)``.
+
+    The symbol of a DC delta is its magnitude category, so the symbols and
+    extra-bit widths are the same array.
+    """
+    diffs = np.diff(np.asarray(dc_values, dtype=np.int64), prepend=np.int64(0))
+    categories = magnitude_categories(diffs)
+    return categories, magnitude_bits_array(diffs, categories), categories
+
+
+def _ac_plane_pieces(band: np.ndarray):
+    """Per-nonzero-entry RLE pieces for a ``(n_blocks, band_length)`` plane.
+
+    Returns ``(block_ids, symbols, bits, categories, n_zrl, counts, eob)``
+    where ``n_zrl`` is the number of ZRL markers preceding each entry,
+    ``counts`` the nonzero count per block, and ``eob`` a per-block mask of
+    blocks that terminate with an EOB marker.
+    """
+    n_blocks, band_length = band.shape
+    block_ids, positions = np.nonzero(band)
+    values = band[block_ids, positions].astype(np.int64)
+    counts = np.bincount(block_ids, minlength=n_blocks).astype(np.int64)
+    eob = np.ones(n_blocks, dtype=bool)
+    if values.size:
+        previous = np.empty_like(positions)
+        previous[0] = -1
+        same_block = block_ids[1:] == block_ids[:-1]
+        previous[1:] = np.where(same_block, positions[:-1], -1)
+        runs = positions - previous - 1
+        n_zrl = (runs >> 4).astype(np.int64)
+        categories = magnitude_categories(values)
+        symbols = ((runs & MAX_RUN) << 4) | categories
+        bits = magnitude_bits_array(values, categories)
+        has_entries = counts > 0
+        last_entry = np.cumsum(counts) - 1
+        eob[has_entries] = positions[last_entry[has_entries]] < band_length - 1
+    else:
+        empty = np.zeros(0, dtype=np.int64)
+        symbols = bits = categories = n_zrl = empty
+    return block_ids, symbols, bits, categories, n_zrl, counts, eob
+
+
+def _scatter_zrl(
+    symbols_out: np.ndarray, entry_out: np.ndarray, n_zrl: np.ndarray
+) -> None:
+    """Place each entry's preceding ZRL markers just before the entry."""
+    total_zrl = int(n_zrl.sum())
+    if not total_zrl:
+        return
+    zrl_before = np.cumsum(n_zrl) - n_zrl
+    offsets = np.arange(total_zrl) - np.repeat(zrl_before, n_zrl)
+    zrl_positions = np.repeat(entry_out - n_zrl, n_zrl) + offsets
+    symbols_out[zrl_positions] = ZRL_SYMBOL
+
+
+def ac_symbol_arrays(
+    band: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`ac_band_symbols` over every block of a plane.
+
+    ``band`` has shape ``(n_blocks, band_length)``; the returned
+    ``(symbols, bits, n_bits)`` arrays hold the concatenated per-block
+    symbol streams in block order, identical to running the scalar coder on
+    each block in sequence.
+    """
+    block_ids, entry_syms, entry_bits, categories, n_zrl, _, eob = _ac_plane_pieces(band)
+    n_entries = entry_syms.size
+    total = n_entries + int(n_zrl.sum()) + int(eob.sum())
+    symbols = np.full(total, EOB_SYMBOL, dtype=np.int64)
+    bits = np.zeros(total, dtype=np.int64)
+    n_bits = np.zeros(total, dtype=np.int64)
+    if n_entries:
+        eob_before = np.cumsum(eob) - eob
+        entry_out = np.cumsum(n_zrl) + np.arange(n_entries) + eob_before[block_ids]
+        symbols[entry_out] = entry_syms
+        bits[entry_out] = entry_bits
+        n_bits[entry_out] = categories
+        _scatter_zrl(symbols, entry_out, n_zrl)
+    return symbols, bits, n_bits
+
+
+def mixed_symbol_arrays(
+    plane: np.ndarray, spectral_end: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized full/mixed-band coder: per block, DC delta then AC band.
+
+    Mirrors the scalar encoder's mixed branch (used by sequential scans):
+    each block contributes its delta-coded DC symbol followed by the RLE
+    stream of coefficients ``1..spectral_end``.
+    """
+    n_blocks = plane.shape[0]
+    dc_syms, dc_bits, dc_nbits = dc_symbol_arrays(plane[:, 0])
+    band = plane[:, 1 : spectral_end + 1]
+    block_ids, entry_syms, entry_bits, categories, n_zrl, counts, eob = _ac_plane_pieces(band)
+    n_entries = entry_syms.size
+    zrl_per_block = np.zeros(n_blocks, dtype=np.int64)
+    if n_entries:
+        zrl_per_block = np.bincount(
+            block_ids, weights=n_zrl, minlength=n_blocks
+        ).astype(np.int64)
+    ac_lengths = counts + zrl_per_block + eob
+    ac_before = np.cumsum(ac_lengths) - ac_lengths
+    dc_out = np.arange(n_blocks) + ac_before
+    total = n_blocks + int(ac_lengths.sum())
+    symbols = np.full(total, EOB_SYMBOL, dtype=np.int64)
+    bits = np.zeros(total, dtype=np.int64)
+    n_bits = np.zeros(total, dtype=np.int64)
+    symbols[dc_out] = dc_syms
+    bits[dc_out] = dc_bits
+    n_bits[dc_out] = dc_nbits
+    if n_entries:
+        eob_before = np.cumsum(eob) - eob
+        # Position within the AC-only layout, then shifted past the DC
+        # symbols of blocks 0..block_id (inclusive).
+        entry_out = (
+            np.cumsum(n_zrl)
+            + np.arange(n_entries)
+            + eob_before[block_ids]
+            + block_ids
+            + 1
+        )
+        symbols[entry_out] = entry_syms
+        bits[entry_out] = entry_bits
+        n_bits[entry_out] = categories
+        _scatter_zrl(symbols, entry_out, n_zrl)
+    return symbols, bits, n_bits
 
 
 def read_ac_band(

@@ -5,6 +5,12 @@ the quantized DCT coefficients are untouched, only the scan structure and
 entropy coding change.  This module does the same for PCR-codec streams —
 coefficients are decoded from the source stream and re-emitted with a
 progressive scan script, without a second quantization pass.
+
+Both directions run through the vectorized entropy fast path (see
+:mod:`repro.codecs.fastpath`) via the scan dispatch in
+:mod:`repro.codecs.progressive`, which makes dataset-wide conversion
+(the Fig. 15 conversion-cost scenario) entropy-bound rather than
+Python-loop-bound; toggle with :mod:`repro.codecs.config`.
 """
 
 from __future__ import annotations

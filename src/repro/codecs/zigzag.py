@@ -31,8 +31,8 @@ def blocks_to_zigzag(blocks: np.ndarray) -> np.ndarray:
     blocks = np.asarray(blocks)
     if blocks.shape[-2:] != (BLOCK_SIZE, BLOCK_SIZE):
         raise ValueError(f"expected trailing (8, 8), got {blocks.shape}")
-    flat = blocks.reshape(*blocks.shape[:-2], N_COEFFICIENTS)
-    return flat[..., ZIGZAG_ORDER]
+    flat = np.ascontiguousarray(blocks).reshape(*blocks.shape[:-2], N_COEFFICIENTS)
+    return np.take(flat, ZIGZAG_ORDER, axis=-1)
 
 
 def zigzag_to_blocks(zigzag: np.ndarray) -> np.ndarray:
@@ -40,5 +40,5 @@ def zigzag_to_blocks(zigzag: np.ndarray) -> np.ndarray:
     zigzag = np.asarray(zigzag)
     if zigzag.shape[-1] != N_COEFFICIENTS:
         raise ValueError(f"expected trailing dimension 64, got {zigzag.shape}")
-    flat = zigzag[..., INVERSE_ZIGZAG_ORDER]
+    flat = np.take(zigzag, INVERSE_ZIGZAG_ORDER, axis=-1)
     return flat.reshape(*zigzag.shape[:-1], BLOCK_SIZE, BLOCK_SIZE)

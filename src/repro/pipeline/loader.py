@@ -59,7 +59,16 @@ class DataLoader:
         return self.epoch()
 
     def epoch(self) -> Iterator[Minibatch]:
-        """Yield the minibatches of one epoch, prefetching in background threads."""
+        """Yield the minibatches of one epoch, prefetching in background threads.
+
+        Shutdown is cooperative: workers block on the bounded output queue
+        only with a timeout and re-check a stop event, and the consumer's
+        ``finally`` sets that event and drains the queue until every worker
+        has exited.  This holds on *every* exit path — a worker error being
+        re-raised, the consumer abandoning the iterator mid-epoch
+        (``GeneratorExit``), or normal completion — so no thread is left
+        blocked on ``output_queue.put``.
+        """
         record_names = self.dataset.record_names
         sampler = (
             ShuffleSampler(record_names, seed=int(self._rng.integers(0, 2**31)))
@@ -71,10 +80,11 @@ class DataLoader:
             work_queue.put(record_name)
         n_workers = max(1, self.config.n_workers)
         output_queue: queue.Queue = queue.Queue(maxsize=max(1, self.config.prefetch_batches))
+        stop_event = threading.Event()
         workers = [
             threading.Thread(
                 target=self._worker_loop,
-                args=(work_queue, output_queue, self.config.seed + worker_index),
+                args=(work_queue, output_queue, self.config.seed + worker_index, stop_event),
                 daemon=True,
             )
             for worker_index in range(n_workers)
@@ -82,29 +92,52 @@ class DataLoader:
         for worker in workers:
             worker.start()
 
-        finished_workers = 0
-        leftovers: list[tuple[np.ndarray, int]] = []
-        while finished_workers < n_workers:
-            wait_start = time.perf_counter()
-            item = output_queue.get()
-            self.stalls.record_wait(time.perf_counter() - wait_start)
-            if item is _END_OF_EPOCH:
-                finished_workers += 1
-                continue
-            if isinstance(item, BaseException):
-                for worker in workers:
-                    worker.join(timeout=1.0)
-                raise item
-            images, labels = item
-            leftovers.extend(zip(images, labels))
-            while len(leftovers) >= self.config.batch_size:
-                chunk = leftovers[: self.config.batch_size]
-                leftovers = leftovers[self.config.batch_size :]
-                yield collate([image for image, _ in chunk], [label for _, label in chunk])
-        if leftovers and not self.config.drop_last:
-            yield collate([image for image, _ in leftovers], [label for _, label in leftovers])
+        try:
+            finished_workers = 0
+            leftovers: list[tuple[np.ndarray, int]] = []
+            while finished_workers < n_workers:
+                wait_start = time.perf_counter()
+                item = output_queue.get()
+                self.stalls.record_wait(time.perf_counter() - wait_start)
+                if item is _END_OF_EPOCH:
+                    finished_workers += 1
+                    continue
+                if isinstance(item, BaseException):
+                    raise item
+                images, labels = item
+                leftovers.extend(zip(images, labels))
+                while len(leftovers) >= self.config.batch_size:
+                    chunk = leftovers[: self.config.batch_size]
+                    leftovers = leftovers[self.config.batch_size :]
+                    yield collate([image for image, _ in chunk], [label for _, label in chunk])
+            if leftovers and not self.config.drop_last:
+                yield collate([image for image, _ in leftovers], [label for _, label in leftovers])
+        finally:
+            stop_event.set()
+            self._drain_and_join(workers, output_queue)
+
+    @staticmethod
+    def _drain_and_join(
+        workers: list[threading.Thread],
+        output_queue: queue.Queue,
+        deadline_seconds: float = 5.0,
+    ) -> None:
+        """Drain the output queue until every worker exits (bounded wait).
+
+        Draining is what unblocks workers that are mid-``put`` on the
+        bounded queue; they notice the stop event on their next timeout.
+        Workers are daemons, so if one is wedged inside a record read past
+        the deadline it cannot block interpreter exit.
+        """
+        deadline = time.monotonic() + deadline_seconds
         for worker in workers:
-            worker.join(timeout=5.0)
+            while worker.is_alive() and time.monotonic() < deadline:
+                try:
+                    while True:
+                        output_queue.get_nowait()
+                except queue.Empty:
+                    pass
+                worker.join(timeout=0.05)
 
     def batches_per_epoch(self) -> int:
         """Number of minibatches one epoch produces."""
@@ -117,21 +150,44 @@ class DataLoader:
     # -- internals ----------------------------------------------------------------
 
     def _worker_loop(
-        self, work_queue: queue.Queue, output_queue: queue.Queue, seed: int
+        self,
+        work_queue: queue.Queue,
+        output_queue: queue.Queue,
+        seed: int,
+        stop_event: threading.Event,
     ) -> None:
         rng = np.random.default_rng(seed)
-        while True:
+        while not stop_event.is_set():
             try:
                 record_name = work_queue.get_nowait()
             except queue.Empty:
                 break
             try:
                 images, labels = self._load_record(record_name, rng)
-                output_queue.put((images, labels))
             except Exception as error:  # surfaced to the consumer, which re-raises
-                output_queue.put(error)
+                self._put_cooperative(output_queue, error, stop_event)
                 break
-        output_queue.put(_END_OF_EPOCH)
+            if not self._put_cooperative(output_queue, (images, labels), stop_event):
+                return  # consumer is gone; no one reads the end-of-epoch marker
+        self._put_cooperative(output_queue, _END_OF_EPOCH, stop_event)
+
+    @staticmethod
+    def _put_cooperative(
+        output_queue: queue.Queue, item, stop_event: threading.Event
+    ) -> bool:
+        """Put onto the bounded queue without deadlocking a shut-down loader.
+
+        Returns False (dropping ``item``) once the stop event is set, so a
+        worker blocked against a full queue always exits shortly after the
+        consumer stops draining.
+        """
+        while not stop_event.is_set():
+            try:
+                output_queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
 
     def _load_record(
         self, record_name: str, rng: np.random.Generator

@@ -69,6 +69,67 @@ class TestBitIO:
         for value, bits in clipped:
             assert reader.read_bits(bits) == value
 
+    def test_peek_does_not_consume(self):
+        reader = BitReader(bytes([0b10110001, 0b01000000]))
+        assert reader.peek_bits(4) == 0b1011
+        assert reader.peek_bits(4) == 0b1011
+        assert reader.read_bits(4) == 0b1011
+        assert reader.peek_bits(8) == 0b00010100
+
+    def test_peek_past_end_pads_with_ones(self):
+        reader = BitReader(bytes([0b10100000]))
+        assert reader.peek_bits(16) == (0b10100000 << 8) | 0xFF
+
+    def test_skip_bits(self):
+        reader = BitReader(bytes([0b11001010, 0b11110000]))
+        reader.skip_bits(3)
+        assert reader.read_bits(5) == 0b01010
+        assert reader.bits_remaining() == 8
+        with pytest.raises(EOFError):
+            reader.skip_bits(9)
+
+    def test_bits_remaining_and_exhausted(self):
+        reader = BitReader(b"\xab")
+        assert reader.bits_remaining() == 8
+        assert not reader.exhausted
+        reader.read_bits(8)
+        assert reader.bits_remaining() == 0
+        assert reader.exhausted
+
+    def test_write_many_matches_write_bits(self):
+        pairs = [(0b1, 1), (0b1011, 4), (0, 3), (0xFFFF, 16), (0b10, 2)]
+        one_by_one = BitWriter()
+        for value, width in pairs:
+            one_by_one.write_bits(value, width)
+        batched = BitWriter()
+        batched.write_many(
+            [value for value, _ in pairs], [width for _, width in pairs]
+        )
+        assert batched.getvalue() == one_by_one.getvalue()
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_write_many_property(self, pairs):
+        clipped = [(value % (1 << bits), bits) for value, bits in pairs]
+        one_by_one = BitWriter()
+        for value, width in clipped:
+            one_by_one.write_bits(value, width)
+        batched = BitWriter()
+        batched.write_many(
+            [value for value, _ in clipped], [width for _, width in clipped]
+        )
+        assert batched.getvalue() == one_by_one.getvalue()
+
+    def test_large_stream_flushes_incrementally(self):
+        writer = BitWriter()
+        for index in range(4096):
+            writer.write_bits(index & 0x7F, 7)
+        data = writer.getvalue()
+        assert len(data) == (4096 * 7 + 7) // 8
+        reader = BitReader(data)
+        for index in range(4096):
+            assert reader.read_bits(7) == index & 0x7F
+
 
 class TestHuffman:
     def test_single_symbol_table(self):
@@ -136,6 +197,81 @@ class TestHuffman:
             table.encode_symbol(symbol, writer)
         reader = BitReader(writer.getvalue())
         assert [restored.decode_symbol(reader) for _ in symbols] == symbols
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_lut_decode_matches_dict_decode(self, symbols):
+        table = HuffmanTable.from_symbols(symbols)
+        writer = BitWriter()
+        for symbol in symbols:
+            table.encode_symbol(symbol, writer)
+        data = writer.getvalue()
+        dict_decoded = []
+        reader = BitReader(data)
+        for _ in symbols:
+            dict_decoded.append(table.decode_symbol(reader))
+        lut_decoded = []
+        reader = BitReader(data)
+        for _ in symbols:
+            lut_decoded.append(table.decode_symbol_fast(reader))
+        assert lut_decoded == dict_decoded == symbols
+
+    def test_lut_rejects_invalid_prefix(self):
+        # A single-symbol table assigns only code "0" (length 1); every bit
+        # pattern starting with "1" hits an unfilled primary slot and must
+        # be rejected, exactly as the dict probe rejects it.
+        table = HuffmanTable(code_lengths={7: 1})
+        with pytest.raises(ValueError, match="invalid Huffman code"):
+            table.decode_symbol_fast(BitReader(b"\xff\xff"))
+        with pytest.raises(ValueError, match="invalid Huffman code"):
+            table.decode_symbol(BitReader(b"\xff\xff"))
+        # A complete code (every prefix decodable) leaves no empty slots.
+        complete = HuffmanTable.from_symbols([1, 1, 1, 2])
+        lut, _ = complete.decode_tables()
+        assert all(entry != 0 for entry in lut)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_from_counts_matches_from_symbols(self, symbols):
+        from collections import Counter
+
+        by_symbols = HuffmanTable.from_symbols(symbols)
+        by_counts = HuffmanTable.from_counts(Counter(symbols))
+        assert by_symbols.code_lengths == by_counts.code_lengths
+
+    def test_from_counts_ignores_zero_counts(self):
+        table = HuffmanTable.from_counts({1: 5, 2: 0, 3: 2})
+        assert set(table.code_lengths) == {1, 3}
+
+    def test_from_counts_empty_and_singleton(self):
+        assert HuffmanTable.from_counts({}).code_lengths == {0: 1}
+        assert HuffmanTable.from_counts({9: 4}).code_lengths == {9: 1}
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_symbols_matches_encode_symbol(self, symbols):
+        table = HuffmanTable.from_symbols(symbols)
+        extras = [(0, 0)] * len(symbols)
+        one_by_one = BitWriter()
+        for symbol in symbols:
+            table.encode_symbol(symbol, one_by_one)
+        batched = BitWriter()
+        table.encode_symbols(symbols, extras, batched)
+        assert batched.getvalue() == one_by_one.getvalue()
+
+    def test_encode_symbols_unknown_symbol_raises(self):
+        table = HuffmanTable.from_symbols([1, 2, 3])
+        with pytest.raises(KeyError):
+            table.encode_symbols([99], [(0, 0)], BitWriter())
+
+    def test_cached_from_bytes_returns_equivalent_table(self):
+        table = HuffmanTable.from_symbols([0, 0, 1, 1, 1, 2, 3, 3, 3, 3, 4])
+        payload = table.to_bytes()
+        first, consumed_first = HuffmanTable.cached_from_bytes(payload + b"tail")
+        second, consumed_second = HuffmanTable.cached_from_bytes(payload + b"liat")
+        assert consumed_first == consumed_second == len(payload)
+        assert first.code_lengths == table.code_lengths
+        assert first is second  # served from the payload cache
 
 
 class TestMagnitudeCoding:

@@ -1,0 +1,374 @@
+"""Differential tests: the vectorized fast path vs the scalar reference.
+
+The fast path (``repro.codecs.fastpath``) must be observationally identical
+to the scalar implementation on every valid stream:
+
+* encoding produces **byte-identical** streams (so datasets written by
+  either implementation are interchangeable), and
+* decoding produces **identical coefficient planes** at every scan prefix.
+
+A perf smoke test pins the ordering (fast must beat scalar) so accidental
+de-vectorization fails CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import config
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.fastpath import decode_scan_body_fast, encode_scan_body_fast
+from repro.codecs.image import ImageBuffer
+from repro.codecs.markers import (
+    SUBSAMPLING_420,
+    SUBSAMPLING_NONE,
+    find_scan_segments,
+)
+from repro.codecs.progressive import (
+    ProgressiveCodec,
+    ScanScript,
+    decode_coefficients,
+    empty_coefficients,
+    encode_coefficients,
+    image_to_coefficients,
+    parse_frame_header,
+)
+from repro.codecs.rle import (
+    ac_band_symbols,
+    ac_symbol_arrays,
+    dc_symbol_arrays,
+    dc_symbols,
+    mixed_symbol_arrays,
+)
+def make_structured_image(size: int = 48, seed: int = 0, color: bool = True) -> ImageBuffer:
+    """A deterministic image with both low- and high-frequency content.
+
+    Mirrors the helper in ``tests/conftest.py``; duplicated here because
+    importing a ``conftest`` module by name is ambiguous when pytest runs
+    the whole repo (``benchmarks/`` ships its own conftest).
+    """
+    rng = np.random.default_rng(seed)
+    coordinates = np.linspace(0, 1, size)
+    xx, yy = np.meshgrid(coordinates, coordinates)
+    base = 128 + 80 * np.sin(4 * np.pi * xx) * np.cos(2 * np.pi * yy)
+    texture = 30 * np.sin(24 * np.pi * (xx + 0.3 * yy))
+    noise = rng.normal(0, 4, size=(size, size))
+    luma = base + texture + noise
+    if not color:
+        return ImageBuffer.from_array(luma)
+    rgb = np.stack([luma, 0.7 * luma + 40.0, 220.0 - 0.5 * luma], axis=-1)
+    return ImageBuffer.from_array(rgb)
+
+
+def _random_image(seed: int, size: int, color: bool) -> ImageBuffer:
+    rng = np.random.default_rng(seed)
+    shape = (size, size, 3) if color else (size, size)
+    return ImageBuffer.from_array(rng.integers(0, 256, shape).astype(np.uint8))
+
+
+def _encode_both(codec, image: ImageBuffer) -> tuple[bytes, bytes]:
+    with config.use_fastpath(False):
+        scalar_stream = codec.encode(image)
+    with config.use_fastpath(True):
+        fast_stream = codec.encode(image)
+    return scalar_stream, fast_stream
+
+
+def _assert_decodes_match(stream: bytes, n_scans: int) -> None:
+    for max_scans in range(1, n_scans + 1):
+        with config.use_fastpath(False):
+            scalar_coeffs, scalar_applied = decode_coefficients(stream, max_scans=max_scans)
+        with config.use_fastpath(True):
+            fast_coeffs, fast_applied = decode_coefficients(stream, max_scans=max_scans)
+        assert scalar_applied == fast_applied
+        for scalar_plane, fast_plane in zip(scalar_coeffs.planes, fast_coeffs.planes):
+            assert np.array_equal(scalar_plane, fast_plane)
+
+
+class TestStreamEquivalence:
+    """Byte-identical encodes and identical decodes across configurations."""
+
+    @pytest.mark.parametrize("subsampling", [SUBSAMPLING_420, SUBSAMPLING_NONE])
+    @pytest.mark.parametrize("quality", [50, 90])
+    def test_progressive_color(self, subsampling, quality):
+        image = make_structured_image(41, seed=11, color=True)
+        codec = ProgressiveCodec(quality=quality, subsampling=subsampling)
+        scalar_stream, fast_stream = _encode_both(codec, image)
+        assert scalar_stream == fast_stream
+        _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
+
+    def test_progressive_grayscale(self):
+        image = make_structured_image(40, seed=12, color=False)
+        codec = ProgressiveCodec(quality=85)
+        scalar_stream, fast_stream = _encode_both(codec, image)
+        assert scalar_stream == fast_stream
+        _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
+
+    @pytest.mark.parametrize("color", [True, False])
+    def test_baseline_sequential(self, color):
+        image = make_structured_image(35, seed=13, color=color)
+        codec = BaselineCodec(quality=80)
+        scalar_stream, fast_stream = _encode_both(codec, image)
+        assert scalar_stream == fast_stream
+        _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
+
+    def test_random_noise_images(self):
+        # Noise maximizes symbol density and exercises long codes/ZRL runs.
+        for seed, size, color in [(0, 24, True), (1, 17, True), (2, 32, False)]:
+            image = _random_image(seed, size, color)
+            codec = ProgressiveCodec(quality=95)
+            scalar_stream, fast_stream = _encode_both(codec, image)
+            assert scalar_stream == fast_stream
+            _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
+
+    def test_all_ten_default_scans_present(self):
+        image = make_structured_image(48, seed=14, color=True)
+        codec = ProgressiveCodec()
+        stream = codec.encode(image)
+        assert codec.n_scans(stream) == 10
+        _assert_decodes_match(stream, 10)
+
+    def test_scan_bodies_identical_per_scan(self):
+        """Scan-level check: each scan body matches segment-for-segment."""
+        image = make_structured_image(33, seed=15, color=True)
+        coefficients = image_to_coefficients(image, quality=90)
+        script = ScanScript.default_for(coefficients.header.n_components)
+        with config.use_fastpath(False):
+            scalar_stream = encode_coefficients(coefficients, script)
+        with config.use_fastpath(True):
+            fast_stream = encode_coefficients(coefficients, script)
+        scalar_segments = find_scan_segments(scalar_stream)
+        fast_segments = find_scan_segments(fast_stream)
+        assert len(scalar_segments) == len(fast_segments) == len(script)
+        for scalar_segment, fast_segment in zip(scalar_segments, fast_segments):
+            assert (
+                scalar_stream[scalar_segment.start : scalar_segment.end]
+                == fast_stream[fast_segment.start : fast_segment.end]
+            )
+
+    def test_fastpath_decodes_scalar_stream_and_vice_versa(self):
+        image = make_structured_image(30, seed=16, color=True)
+        codec = ProgressiveCodec(quality=75)
+        with config.use_fastpath(False):
+            stream = codec.encode(image)
+        with config.use_fastpath(True):
+            fast_image = codec.decode(stream)
+        with config.use_fastpath(False):
+            scalar_image = codec.decode(stream)
+        assert fast_image == scalar_image
+
+
+class TestVectorizedSymbolArrays:
+    """The NumPy RLE coders emit the exact scalar symbol streams."""
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-300, 300), min_size=9, max_size=9),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ac_symbol_arrays_match_scalar(self, blocks):
+        band = np.array(blocks, dtype=np.int32)
+        symbols, bits, n_bits = ac_symbol_arrays(band)
+        expected_symbols: list[int] = []
+        expected_extras: list[tuple[int, int]] = []
+        for block in blocks:
+            block_symbols, block_extras = ac_band_symbols(block)
+            expected_symbols.extend(block_symbols)
+            expected_extras.extend(block_extras)
+        assert symbols.tolist() == expected_symbols
+        assert list(zip(bits.tolist(), n_bits.tolist())) == expected_extras
+
+    @given(st.lists(st.integers(-2000, 2000), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_dc_symbol_arrays_match_scalar(self, values):
+        symbols, bits, n_bits = dc_symbol_arrays(np.array(values, dtype=np.int64))
+        expected_symbols, expected_extras = dc_symbols(values)
+        assert symbols.tolist() == expected_symbols
+        assert list(zip(bits.tolist(), n_bits.tolist())) == expected_extras
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-200, 200), min_size=64, max_size=64),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_symbol_arrays_match_scalar(self, blocks):
+        plane = np.array(blocks, dtype=np.int32)
+        symbols, bits, n_bits = mixed_symbol_arrays(plane, spectral_end=63)
+        expected_symbols: list[int] = []
+        expected_extras: list[tuple[int, int]] = []
+        previous_dc = 0
+        for block in blocks:
+            diff = block[0] - previous_dc
+            previous_dc = block[0]
+            dc_syms, dc_extras = dc_symbols([diff])
+            expected_symbols.extend(dc_syms)
+            expected_extras.extend(dc_extras)
+            ac_syms, ac_extras = ac_band_symbols(block[1:])
+            expected_symbols.extend(ac_syms)
+            expected_extras.extend(ac_extras)
+        assert symbols.tolist() == expected_symbols
+        assert list(zip(bits.tolist(), n_bits.tolist())) == expected_extras
+
+    def test_zrl_heavy_band(self):
+        band = np.zeros((3, 63), dtype=np.int32)
+        band[0, 40] = 5        # two ZRLs then a coefficient
+        band[1, 62] = -1       # coefficient on the last slot: no EOB
+        # block 2 stays all-zero: a single EOB
+        symbols, bits, n_bits = ac_symbol_arrays(band)
+        expected: list[int] = []
+        for block in band:
+            block_symbols, _ = ac_band_symbols([int(v) for v in block])
+            expected.extend(block_symbols)
+        assert symbols.tolist() == expected
+
+
+class TestPropertyRoundTrip:
+    """Property-style: random coefficient planes round-trip bit-identically."""
+
+    @given(st.integers(0, 2**32 - 1), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_random_planes_roundtrip(self, seed, use_420):
+        rng = np.random.default_rng(seed)
+        image = ImageBuffer.from_array(
+            rng.integers(0, 256, (16 + int(rng.integers(0, 17)),) * 2 + (3,)).astype(
+                np.uint8
+            )
+        )
+        subsampling = SUBSAMPLING_420 if use_420 else SUBSAMPLING_NONE
+        coefficients = image_to_coefficients(image, quality=70, subsampling=subsampling)
+        script = ScanScript.default_for(coefficients.header.n_components)
+        with config.use_fastpath(False):
+            scalar_stream = encode_coefficients(coefficients, script)
+        with config.use_fastpath(True):
+            fast_stream = encode_coefficients(coefficients, script)
+        assert scalar_stream == fast_stream
+        with config.use_fastpath(True):
+            decoded, _ = decode_coefficients(fast_stream)
+        for original_plane, decoded_plane in zip(coefficients.planes, decoded.planes):
+            assert np.array_equal(original_plane, decoded_plane)
+
+
+class TestScanBodyFunctions:
+    """Direct checks of the scan-level fast-path entry points."""
+
+    def test_decode_scan_body_fast_single_segment(self):
+        image = make_structured_image(25, seed=17, color=True)
+        coefficients = image_to_coefficients(image, quality=90)
+        script = ScanScript.default_for(3)
+        stream = encode_coefficients(coefficients, script)
+        header, _ = parse_frame_header(stream)
+        segments = find_scan_segments(stream)
+        fast_result = empty_coefficients(header)
+        for segment in segments:
+            decode_scan_body_fast(stream, segment, fast_result)
+        for original_plane, decoded_plane in zip(coefficients.planes, fast_result.planes):
+            assert np.array_equal(original_plane, decoded_plane)
+
+    def test_encode_scan_body_fast_is_scalar_body(self):
+        from repro.codecs.progressive import _encode_scan_body_scalar
+
+        image = make_structured_image(27, seed=18, color=True)
+        coefficients = image_to_coefficients(image, quality=90)
+        for scan in ScanScript.default_for(3):
+            assert encode_scan_body_fast(coefficients, scan) == _encode_scan_body_scalar(
+                coefficients, scan
+            )
+
+
+class TestToggle:
+    def test_use_fastpath_restores_state(self):
+        initial = config.fastpath_enabled()
+        with config.use_fastpath(not initial):
+            assert config.fastpath_enabled() is (not initial)
+        assert config.fastpath_enabled() is initial
+
+    def test_set_fastpath(self):
+        initial = config.fastpath_enabled()
+        try:
+            config.set_fastpath(False)
+            assert not config.fastpath_enabled()
+            config.set_fastpath(True)
+            assert config.fastpath_enabled()
+        finally:
+            config.set_fastpath(initial)
+
+    def test_package_attribute_tracks_config(self):
+        import repro.codecs as codecs
+
+        initial = config.fastpath_enabled()
+        try:
+            config.set_fastpath(False)
+            assert codecs.FASTPATH is False
+            config.set_fastpath(True)
+            assert codecs.FASTPATH is True
+        finally:
+            config.set_fastpath(initial)
+
+
+class TestPerformanceSmoke:
+    """The LUT fast path must decisively beat the scalar reference.
+
+    Timings compare medians over several trials on the same small fixed
+    workload; the fast path is required to win by 1.5x (it wins by ~4-5x in
+    practice), so only a genuine de-vectorization can trip this.
+    """
+
+    @staticmethod
+    def _median_seconds(fn, trials: int = 5) -> float:
+        samples = []
+        for _ in range(trials):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    def test_fastpath_beats_scalar(self):
+        # 96px keeps the run in the tens of milliseconds while giving the
+        # entropy layer enough symbols that fixed per-scan costs (shared
+        # Huffman table construction) don't mask the fast-path advantage.
+        image = make_structured_image(96, seed=19, color=True)
+        coefficients = image_to_coefficients(image, quality=90)
+        script = ScanScript.default_for(coefficients.header.n_components)
+        stream = encode_coefficients(coefficients, script)
+        decode_coefficients(stream)  # warm LUT/table caches
+
+        def decode_fast():
+            with config.use_fastpath(True):
+                decode_coefficients(stream)
+
+        def decode_scalar():
+            with config.use_fastpath(False):
+                decode_coefficients(stream)
+
+        def encode_fast():
+            with config.use_fastpath(True):
+                encode_coefficients(coefficients, script)
+
+        def encode_scalar():
+            with config.use_fastpath(False):
+                encode_coefficients(coefficients, script)
+
+        fast_decode = self._median_seconds(decode_fast)
+        scalar_decode = self._median_seconds(decode_scalar)
+        assert fast_decode * 1.5 < scalar_decode, (
+            f"LUT decode ({fast_decode * 1e3:.2f} ms) must beat the scalar "
+            f"reference ({scalar_decode * 1e3:.2f} ms) by at least 1.5x"
+        )
+        fast_encode = self._median_seconds(encode_fast)
+        scalar_encode = self._median_seconds(encode_scalar)
+        assert fast_encode * 1.5 < scalar_encode, (
+            f"vectorized encode ({fast_encode * 1e3:.2f} ms) must beat the scalar "
+            f"reference ({scalar_encode * 1e3:.2f} ms) by at least 1.5x"
+        )

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -188,6 +191,59 @@ class TestDataLoader:
         loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=8, n_workers=1))
         list(loader.epoch())
         assert len(loader.stalls.wait_seconds) > 0
+
+
+def _wait_for_thread_count(limit: int, deadline_seconds: float = 5.0) -> int:
+    deadline = time.monotonic() + deadline_seconds
+    while threading.active_count() > limit and time.monotonic() < deadline:
+        time.sleep(0.02)
+    return threading.active_count()
+
+
+class TestDataLoaderShutdown:
+    """Regression tests: error/abandonment paths must not leak worker threads.
+
+    A tiny prefetch queue forces workers to block mid-``put``, which is
+    exactly the state the stop-event/drain shutdown has to recover from.
+    """
+
+    def test_worker_error_joins_all_workers(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset,
+            LoaderConfig(batch_size=4, n_workers=2, prefetch_batches=1, shuffle=False),
+        )
+        original_load = loader._load_record
+        failures = {"count": 0}
+
+        def failing_load(record_name, rng):
+            failures["count"] += 1
+            if failures["count"] == 1:
+                raise RuntimeError("injected worker failure")
+            return original_load(record_name, rng)
+
+        loader._load_record = failing_load
+        baseline_threads = threading.active_count()
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            for _ in loader.epoch():
+                pass
+        assert _wait_for_thread_count(baseline_threads) <= baseline_threads
+
+    def test_abandoned_iterator_joins_all_workers(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset,
+            LoaderConfig(batch_size=4, n_workers=2, prefetch_batches=1, shuffle=False),
+        )
+        baseline_threads = threading.active_count()
+        iterator = loader.epoch()
+        next(iterator)
+        iterator.close()  # GeneratorExit inside epoch() must trigger shutdown
+        assert _wait_for_thread_count(baseline_threads) <= baseline_threads
+
+    def test_clean_epoch_leaves_no_threads(self, pcr_dataset):
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=4, n_workers=2))
+        baseline_threads = threading.active_count()
+        list(loader.epoch())
+        assert _wait_for_thread_count(baseline_threads) <= baseline_threads
 
 
 class TestStallTracker:
