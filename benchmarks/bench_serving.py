@@ -1,0 +1,316 @@
+"""Serving throughput and cache behaviour of the PCR record server.
+
+Builds a synthetic PCR dataset, starts a :class:`PCRRecordServer` on
+localhost, and measures:
+
+* ``single_client_by_group`` — cold (cache-miss) and warm (cache-hit)
+  fetch throughput of one client at several scan groups;
+* ``prefix_containment`` — per-group hit rates once the cache holds full
+  prefixes: every lower-group request must be a prefix-containment hit;
+* ``pipelined_batch`` — one pipelined ``BATCH`` round trip vs sequential
+  single-record requests;
+* ``multi_client`` — aggregate throughput of several concurrent clients at
+  mixed scan groups against one shared server cache;
+* ``remote_loader`` — samples/s of a ``DataLoader`` driven through
+  :class:`RemoteRecordSource` at a low and a high scan group.
+
+Results go to ``BENCH_serving.json``:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+
+or through pytest (smoke assertions only, no JSON):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.dataset import PCRDataset
+from repro.datasets.synthetic import SyntheticImageGenerator, SyntheticImageSpec
+from repro.pipeline.loader import DataLoader, LoaderConfig
+from repro.serving.client import PCRClient
+from repro.serving.remote_source import RemoteRecordSource
+from repro.serving.server import PCRRecordServer
+
+_MB = 1024.0 * 1024.0
+
+
+def _build_dataset(workdir: str, n_samples: int, image_size: int, per_record: int) -> PCRDataset:
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=image_size), seed=11
+    )
+    samples = generator.generate_batch(n_samples, seed=11)
+    return PCRDataset.build(samples, workdir, images_per_record=per_record, quality=90)
+
+
+def _probe_groups(n_groups: int) -> list[int]:
+    groups = sorted({1, max(1, n_groups // 2), n_groups})
+    return groups
+
+
+def _fetch_epoch(client: PCRClient, names: list[str], group: int) -> int:
+    total = 0
+    for name in names:
+        total += len(client.get_record_bytes(name, group))
+    return total
+
+
+def _bench_single_client(directory: Path, names: list[str], n_groups: int, trials: int) -> dict:
+    out: dict[str, dict] = {}
+    for group in _probe_groups(n_groups):
+        with PCRRecordServer(directory, port=0) as server:
+            with PCRClient(port=server.port) as client:
+                start = time.perf_counter()
+                cold_bytes = _fetch_epoch(client, names, group)
+                cold_seconds = time.perf_counter() - start
+
+                warm_seconds = []
+                for _ in range(trials):
+                    start = time.perf_counter()
+                    _fetch_epoch(client, names, group)
+                    warm_seconds.append(time.perf_counter() - start)
+                warm_best = min(warm_seconds)
+                stats = server.stats()
+        out[str(group)] = {
+            "epoch_bytes": cold_bytes,
+            "cold_mb_per_s": cold_bytes / _MB / cold_seconds,
+            "warm_mb_per_s": cold_bytes / _MB / warm_best,
+            "warm_records_per_s": len(names) / warm_best,
+            "cache_hit_rate": stats["cache"]["hit_rate"],
+        }
+    return out
+
+
+def _bench_prefix_containment(directory: Path, names: list[str], n_groups: int) -> dict:
+    """Populate the cache at the top group, then request every lower group."""
+    with PCRRecordServer(directory, port=0) as server:
+        with PCRClient(port=server.port) as client:
+            for name in names:
+                client.get_record_bytes(name, n_groups)
+            for group in range(1, n_groups):
+                for name in names:
+                    client.get_record_bytes(name, group)
+            stats = client.stat()
+    cache = stats["cache"]
+    lower_requests = len(names) * (n_groups - 1)
+    return {
+        "populate_group": n_groups,
+        "lower_group_requests": lower_requests,
+        "prefix_hits": cache["prefix_hits"],
+        "prefix_hit_rate": cache["prefix_hit_rate"],
+        "hit_rate": cache["hit_rate"],
+        "misses": cache["misses"],
+        "hits_by_group": cache["hits_by_group"],
+        "bytes_served_by_group": cache["bytes_served_by_group"],
+    }
+
+
+def _bench_pipelined_batch(directory: Path, names: list[str], n_groups: int, trials: int) -> dict:
+    with PCRRecordServer(directory, port=0) as server:
+        with PCRClient(port=server.port) as client:
+            requests = [(name, n_groups) for name in names]
+            client.get_record_batch(requests)  # warm the cache
+            batch_seconds = []
+            for _ in range(trials):
+                start = time.perf_counter()
+                blobs = client.get_record_batch(requests)
+                batch_seconds.append(time.perf_counter() - start)
+            total_bytes = sum(len(blob) for blob in blobs)
+            single_seconds = []
+            for _ in range(trials):
+                start = time.perf_counter()
+                _fetch_epoch(client, names, n_groups)
+                single_seconds.append(time.perf_counter() - start)
+    batch_best, single_best = min(batch_seconds), min(single_seconds)
+    return {
+        "n_records": len(names),
+        "batch_mb_per_s": total_bytes / _MB / batch_best,
+        "sequential_mb_per_s": total_bytes / _MB / single_best,
+        "speedup_vs_sequential": single_best / batch_best,
+    }
+
+
+def _bench_multi_client(
+    directory: Path, names: list[str], n_groups: int, n_clients: int, epochs: int
+) -> dict:
+    groups = _probe_groups(n_groups)
+    with PCRRecordServer(directory, port=0) as server:
+        fetched_bytes = [0] * n_clients
+        errors: list[BaseException] = []
+
+        def run_client(slot: int) -> None:
+            try:
+                with PCRClient(port=server.port, pool_size=2) as client:
+                    group = groups[slot % len(groups)]
+                    for _ in range(epochs):
+                        fetched_bytes[slot] += _fetch_epoch(client, names, group)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_client, args=(i,)) for i in range(n_clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        stats = server.stats()
+    total = sum(fetched_bytes)
+    return {
+        "n_clients": n_clients,
+        "epochs_per_client": epochs,
+        "aggregate_mb_per_s": total / _MB / elapsed,
+        "aggregate_records_per_s": n_clients * epochs * len(names) / elapsed,
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "cache_prefix_hit_rate": stats["cache"]["prefix_hit_rate"],
+        "server_errors": stats["errors"],
+    }
+
+
+def _bench_remote_loader(directory: Path, n_groups: int, batch_size: int) -> dict:
+    out: dict[str, dict] = {}
+    with PCRRecordServer(directory, port=0) as server:
+        with RemoteRecordSource(port=server.port) as source:
+            config = LoaderConfig(batch_size=batch_size, n_workers=2, shuffle=False, seed=0)
+            for group in (1, n_groups):
+                source.set_scan_group(group)
+                loader = DataLoader(source, config)
+                start = time.perf_counter()
+                n_samples = sum(len(batch) for batch in loader.epoch())
+                elapsed = time.perf_counter() - start
+                out[str(group)] = {
+                    "samples_per_s": n_samples / elapsed,
+                    "epoch_seconds": elapsed,
+                    "epoch_bytes": source.epoch_bytes(),
+                }
+    return out
+
+
+def run_benchmark(
+    n_samples: int = 96,
+    image_size: int = 64,
+    images_per_record: int = 16,
+    trials: int = 3,
+    n_clients: int = 4,
+    multi_client_epochs: int = 3,
+) -> dict:
+    with tempfile.TemporaryDirectory(prefix="pcr-serving-bench-") as workdir:
+        dataset = _build_dataset(workdir, n_samples, image_size, images_per_record)
+        directory = dataset.reader.directory
+        names = dataset.record_names
+        n_groups = dataset.n_groups
+        results = {
+            "params": {
+                "n_samples": n_samples,
+                "image_size": image_size,
+                "images_per_record": images_per_record,
+                "n_records": len(names),
+                "n_groups": n_groups,
+                "trials": trials,
+            },
+            "single_client_by_group": _bench_single_client(directory, names, n_groups, trials),
+            "prefix_containment": _bench_prefix_containment(directory, names, n_groups),
+            "pipelined_batch": _bench_pipelined_batch(directory, names, n_groups, trials),
+            "multi_client": _bench_multi_client(
+                directory, names, n_groups, n_clients, multi_client_epochs
+            ),
+            "remote_loader_by_group": _bench_remote_loader(
+                directory, n_groups, batch_size=16
+            ),
+        }
+        dataset.close()
+    return results
+
+
+def print_report(results: dict) -> None:
+    print("=" * 74)
+    print("PCR record serving benchmark")
+    print("=" * 74)
+    params = results["params"]
+    print(
+        f"{params['n_records']} records, {params['n_samples']} samples, "
+        f"{params['n_groups']} scan groups"
+    )
+    print("-" * 74)
+    print("single client, per scan group (cold = cache miss, warm = cache hit):")
+    for group, row in results["single_client_by_group"].items():
+        print(
+            f"  group {group:>2s}  cold {row['cold_mb_per_s']:8.2f} MB/s   "
+            f"warm {row['warm_mb_per_s']:8.2f} MB/s   "
+            f"{row['warm_records_per_s']:8.1f} rec/s"
+        )
+    containment = results["prefix_containment"]
+    print(
+        f"prefix containment: {containment['prefix_hits']}/"
+        f"{containment['lower_group_requests']} lower-group requests served by "
+        f"slicing cached prefixes (prefix hit rate {containment['prefix_hit_rate']:.2f})"
+    )
+    batch = results["pipelined_batch"]
+    print(
+        f"pipelined batch:    {batch['batch_mb_per_s']:8.2f} MB/s vs "
+        f"{batch['sequential_mb_per_s']:8.2f} MB/s sequential "
+        f"({batch['speedup_vs_sequential']:.2f}x)"
+    )
+    multi = results["multi_client"]
+    print(
+        f"multi-client:       {multi['n_clients']} clients  "
+        f"{multi['aggregate_mb_per_s']:8.2f} MB/s aggregate   "
+        f"hit rate {multi['cache_hit_rate']:.2f}"
+    )
+    print("remote DataLoader epoch:")
+    for group, row in results["remote_loader_by_group"].items():
+        print(
+            f"  group {group:>2s}  {row['samples_per_s']:8.1f} samples/s   "
+            f"epoch {row['epoch_seconds']:.2f}s   {row['epoch_bytes']} bytes"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workload, fewer trials")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serving.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        results = run_benchmark(
+            n_samples=24, image_size=32, images_per_record=8, trials=2,
+            n_clients=2, multi_client_epochs=2,
+        )
+    else:
+        results = run_benchmark()
+    print_report(results)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+def test_serving_bench_smoke():
+    """Tier-2 smoke: the scan-prefix cache must produce containment hits."""
+    results = run_benchmark(
+        n_samples=16, image_size=32, images_per_record=8, trials=1,
+        n_clients=2, multi_client_epochs=1,
+    )
+    containment = results["prefix_containment"]
+    assert containment["prefix_hit_rate"] > 0
+    assert containment["prefix_hits"] == containment["lower_group_requests"]
+    for row in results["single_client_by_group"].values():
+        assert row["warm_mb_per_s"] >= row["cold_mb_per_s"] * 0.2
+    print_report(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,10 @@ Smith; VLDB 2021).  It contains:
 ``repro.datasets`` / ``repro.metrics`` / ``repro.tuning``
     Synthetic stand-ins for the paper's datasets, MSSIM/PSNR quality
     metrics, and static/dynamic scan-group autotuning.
+
+``repro.serving``
+    The network layer: a binary wire protocol, a caching TCP record
+    server, a pooled client, and a remote ``DataLoader`` source.
 """
 
 from __future__ import annotations
@@ -44,6 +48,9 @@ _LAZY_EXPORTS = {
     "ProgressiveCodec": ("repro.codecs.progressive", "ProgressiveCodec"),
     "BaselineCodec": ("repro.codecs.baseline", "BaselineCodec"),
     "ImageBuffer": ("repro.codecs.image", "ImageBuffer"),
+    "PCRRecordServer": ("repro.serving.server", "PCRRecordServer"),
+    "PCRClient": ("repro.serving.client", "PCRClient"),
+    "RemoteRecordSource": ("repro.serving.remote_source", "RemoteRecordSource"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

@@ -10,12 +10,12 @@ codec (Section 3.2, "Decoding").
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.codecs.image import ImageBuffer
-from repro.codecs.markers import EOI
-from repro.codecs.progressive import ProgressiveCodec
+from repro.codecs.progressive import ProgressiveCodec, assemble_partial_stream
 from repro.core.errors import MissingSampleError, PCRError, ScanGroupError
 from repro.core.index import RecordIndex, parse_record_prefix
 from repro.core.metadata import SampleMetadata
@@ -45,6 +45,30 @@ class PCRSample:
         return self.metadata.label
 
 
+def validate_scan_group(scan_group: int, n_groups: int) -> None:
+    """Raise :class:`ScanGroupError` unless ``1 <= scan_group <= n_groups``."""
+    if not 1 <= scan_group <= n_groups:
+        raise ScanGroupError(f"scan group {scan_group} out of range [1, {n_groups}]")
+
+
+def assemble_samples(data: bytes, codec: ProgressiveCodec, decode: bool) -> list[PCRSample]:
+    """Parse a record prefix and rebuild one decodable sample per entry.
+
+    Shared by the local reader and the network
+    :class:`~repro.serving.remote_source.RemoteRecordSource`, so the
+    stream-reassembly invariant lives in exactly one place.
+    """
+    parsed = parse_record_prefix(data)
+    samples: list[PCRSample] = []
+    for metadata, prefix, scans in zip(
+        parsed.samples, parsed.header_prefixes, parsed.scans_per_sample
+    ):
+        stream = assemble_partial_stream(prefix, scans)
+        image = codec.decode(stream) if decode else None
+        samples.append(PCRSample(metadata=metadata, stream=stream, image=image))
+    return samples
+
+
 @dataclass
 class ReadStats:
     """Aggregate I/O accounting for a reader instance."""
@@ -60,7 +84,15 @@ class ReadStats:
 
 
 class PCRReader:
-    """Reads a PCR dataset directory produced by :class:`PCRWriter`."""
+    """Reads a PCR dataset directory produced by :class:`PCRWriter`.
+
+    One reader may be shared by many threads (``DataLoader`` workers, record
+    server handler threads): the index cache, the I/O counters, and metadata
+    store access are guarded by an internal lock, and record files are opened
+    per-read so no file position is shared across threads.  Decoding happens
+    outside the lock — the codec is stateless — so concurrent reads still
+    overlap where it matters.
+    """
 
     def __init__(self, directory: str | Path, decode: bool = True) -> None:
         self.directory = Path(directory)
@@ -75,6 +107,7 @@ class PCRReader:
         self.decode_by_default = decode
         self._codec = ProgressiveCodec(quality=int(self.dataset_meta.get("quality", 90)))
         self._indexes: dict[str, RecordIndex] = {}
+        self._lock = threading.Lock()
         self.stats = ReadStats()
 
     def _open_store(self):
@@ -89,10 +122,11 @@ class PCRReader:
     @property
     def record_names(self) -> list[str]:
         """Names of every record in the dataset, in write order."""
-        names = [
-            key[len(RECORD_KEY_PREFIX) :].decode()
-            for key, _ in self._store.scan(RECORD_KEY_PREFIX)
-        ]
+        with self._lock:
+            names = [
+                key[len(RECORD_KEY_PREFIX) :].decode()
+                for key, _ in self._store.scan(RECORD_KEY_PREFIX)
+            ]
         return sorted(names)
 
     @property
@@ -102,12 +136,15 @@ class PCRReader:
 
     def record_index(self, record_name: str) -> RecordIndex:
         """Return the offset index of one record (cached)."""
-        if record_name not in self._indexes:
-            raw = self._store.get(RECORD_KEY_PREFIX + record_name.encode())
-            if raw is None:
-                raise PCRError(f"record {record_name!r} not found in the metadata database")
-            self._indexes[record_name] = RecordIndex.from_json(raw.decode())
-        return self._indexes[record_name]
+        with self._lock:
+            index = self._indexes.get(record_name)
+            if index is None:
+                raw = self._store.get(RECORD_KEY_PREFIX + record_name.encode())
+                if raw is None:
+                    raise PCRError(f"record {record_name!r} not found in the metadata database")
+                index = RecordIndex.from_json(raw.decode())
+                self._indexes[record_name] = index
+        return index
 
     def bytes_for_group(self, record_name: str, scan_group: int) -> int:
         """Bytes a reader must fetch to get ``record_name`` at ``scan_group``."""
@@ -125,12 +162,15 @@ class PCRReader:
         index = self.record_index(record_name)
         length = index.bytes_for_group(scan_group)
         path = self.directory / record_name
+        # A fresh file handle per read: concurrent readers never share a
+        # file position, so the lock only needs to cover the counters.
         with open(path, "rb") as handle:
             data = handle.read(length)
         if len(data) != length:
             raise PCRError(f"short read on {record_name}: got {len(data)} of {length} bytes")
-        self.stats.bytes_read += length
-        self.stats.records_read += 1
+        with self._lock:
+            self.stats.bytes_read += length
+            self.stats.records_read += 1
         return data
 
     def read_record(
@@ -145,17 +185,10 @@ class PCRReader:
         """
         decode = self.decode_by_default if decode is None else decode
         data = self.read_record_bytes(record_name, scan_group)
-        parsed = parse_record_prefix(data)
-        samples: list[PCRSample] = []
-        for metadata, prefix, scans in zip(
-            parsed.samples, parsed.header_prefixes, parsed.scans_per_sample
-        ):
-            stream = prefix + b"".join(scans) + EOI
-            image = None
-            if decode:
-                image = self._codec.decode(stream)
-                self.stats.samples_decoded += 1
-            samples.append(PCRSample(metadata=metadata, stream=stream, image=image))
+        samples = assemble_samples(data, self._codec, decode)
+        if decode:
+            with self._lock:
+                self.stats.samples_decoded += len(samples)
         return samples
 
     def read_sample(self, key: str, scan_group: int, decode: bool | None = None) -> PCRSample:
@@ -164,7 +197,8 @@ class PCRReader:
         Note that PCRs are optimized for whole-record sequential access; a
         single-sample read still fetches the record prefix.
         """
-        raw = self._store.get(SAMPLE_KEY_PREFIX + key.encode())
+        with self._lock:
+            raw = self._store.get(SAMPLE_KEY_PREFIX + key.encode())
         if raw is None:
             raise MissingSampleError(key)
         entry = json.loads(raw.decode())
@@ -180,7 +214,8 @@ class PCRReader:
 
     def close(self) -> None:
         """Close the metadata database."""
-        self._store.close()
+        with self._lock:
+            self._store.close()
 
     def __enter__(self) -> "PCRReader":
         return self
@@ -189,7 +224,4 @@ class PCRReader:
         self.close()
 
     def _validate_group(self, scan_group: int) -> None:
-        if not 1 <= scan_group <= self.n_groups:
-            raise ScanGroupError(
-                f"scan group {scan_group} out of range [1, {self.n_groups}]"
-            )
+        validate_scan_group(scan_group, self.n_groups)

@@ -1,0 +1,33 @@
+"""Network serving layer: ship PCR record prefixes to remote readers.
+
+The subsystem has four parts:
+
+:mod:`repro.serving.protocol`
+    The versioned, length-prefixed binary wire format (requests, responses,
+    structured error frames, pipelined batches).
+
+:mod:`repro.serving.server`
+    ``PCRRecordServer`` — a threaded TCP server over a shared
+    :class:`~repro.core.reader.PCRReader` with a scan-prefix LRU cache that
+    serves any scan group ≤ a cached group by slicing the cached prefix.
+
+:mod:`repro.serving.client`
+    ``PCRClient`` — a connection-pooled client with pipelined batch fetches
+    and retry-on-reconnect.
+
+:mod:`repro.serving.remote_source`
+    ``RemoteRecordSource`` — the ``DataLoader``-compatible record source
+    that streams minibatches from a server with a runtime-switchable scan
+    group.
+"""
+
+from repro.serving.client import PCRClient
+from repro.serving.remote_source import RemoteRecordSource
+from repro.serving.server import PCRRecordServer, ScanPrefixCache
+
+__all__ = [
+    "PCRClient",
+    "PCRRecordServer",
+    "RemoteRecordSource",
+    "ScanPrefixCache",
+]

@@ -1,0 +1,287 @@
+"""Versioned length-prefixed binary wire format for the PCR record server.
+
+Every message on the wire is one *frame*::
+
+    +-------+---------+------+----------------+---------------+
+    | magic | version | type | payload length |    payload    |
+    | 2 B   | 1 B     | 1 B  | 4 B (LE)       | <length> B    |
+    +-------+---------+------+----------------+---------------+
+
+Requests carry structured binary payloads (``struct``-packed, names UTF-8);
+responses carry either raw record bytes (``RECORD_DATA``), UTF-8 JSON
+(``INDEX_DATA`` / ``STAT_DATA`` / ``META_DATA``), a concatenation of
+complete sub-frames (``BATCH_DATA``, one per pipelined sub-request), or a
+structured error frame (``ERROR``: error code + UTF-8 message).
+
+The payload length is bounded (:data:`DEFAULT_MAX_PAYLOAD_BYTES`); both
+sides reject oversized frames before allocating, so a corrupt or hostile
+peer cannot force a multi-gigabyte read.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+
+PROTOCOL_MAGIC = b"PR"
+PROTOCOL_VERSION = 1
+
+_HEADER_STRUCT = "<2sBBI"
+HEADER_SIZE = struct.calcsize(_HEADER_STRUCT)
+
+DEFAULT_MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+# -- message types ------------------------------------------------------------
+
+MSG_GET_RECORD = 0x01
+MSG_GET_INDEX = 0x02
+MSG_STAT = 0x03
+MSG_DATASET_META = 0x04
+MSG_BATCH = 0x05
+
+MSG_RECORD_DATA = 0x81
+MSG_INDEX_DATA = 0x82
+MSG_STAT_DATA = 0x83
+MSG_META_DATA = 0x84
+MSG_BATCH_DATA = 0x85
+MSG_ERROR = 0xFF
+
+REQUEST_TYPES = frozenset(
+    {MSG_GET_RECORD, MSG_GET_INDEX, MSG_STAT, MSG_DATASET_META, MSG_BATCH}
+)
+
+# -- error codes --------------------------------------------------------------
+
+ERR_MALFORMED = 1
+ERR_UNSUPPORTED = 2
+ERR_NOT_FOUND = 3
+ERR_BAD_SCAN_GROUP = 4
+ERR_OVERSIZED = 5
+ERR_INTERNAL = 6
+
+ERROR_NAMES = {
+    ERR_MALFORMED: "malformed",
+    ERR_UNSUPPORTED: "unsupported",
+    ERR_NOT_FOUND: "not-found",
+    ERR_BAD_SCAN_GROUP: "bad-scan-group",
+    ERR_OVERSIZED: "oversized",
+    ERR_INTERNAL: "internal",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed, truncated, or version-incompatible frame."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame whose payload exceeds the negotiated maximum."""
+
+
+class RemoteError(Exception):
+    """A structured error frame returned by the server."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{ERROR_NAMES.get(code, code)}] {message}")
+        self.code = code
+        self.message = message
+
+
+# -- frame encoding / decoding ------------------------------------------------
+
+
+def encode_frame(
+    msg_type: int, payload: bytes = b"", max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> bytes:
+    """Serialize one frame (header + payload)."""
+    if len(payload) > max_payload:
+        raise FrameTooLargeError(
+            f"payload of {len(payload)} bytes exceeds the {max_payload}-byte frame limit"
+        )
+    header = struct.pack(
+        _HEADER_STRUCT, PROTOCOL_MAGIC, PROTOCOL_VERSION, msg_type, len(payload)
+    )
+    return header + payload
+
+
+def parse_header(
+    header: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> tuple[int, int]:
+    """Validate a frame header; returns ``(msg_type, payload_length)``."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"frame header must be {HEADER_SIZE} bytes, got {len(header)}")
+    magic, version, msg_type, length = struct.unpack(_HEADER_STRUCT, header)
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if length > max_payload:
+        raise FrameTooLargeError(
+            f"frame announces a {length}-byte payload, over the {max_payload}-byte limit"
+        )
+    return msg_type, length
+
+
+def recv_exactly(sock: socket.socket, n_bytes: int) -> bytes | None:
+    """Read exactly ``n_bytes`` from a socket.
+
+    Returns ``None`` on a clean EOF before the first byte; raises
+    :class:`ProtocolError` if the connection drops mid-read.
+    """
+    chunks: list[bytes] = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n_bytes - remaining} of {n_bytes} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def read_frame(
+    sock: socket.socket, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> tuple[int, bytes] | None:
+    """Read one complete frame from a socket.
+
+    Returns ``(msg_type, payload)``, or ``None`` if the peer closed the
+    connection cleanly at a frame boundary.  A close inside a frame, a bad
+    magic/version, or an oversized payload raises :class:`ProtocolError`.
+    """
+    header = recv_exactly(sock, HEADER_SIZE)
+    if header is None:
+        return None
+    msg_type, length = parse_header(header, max_payload)
+    if length == 0:
+        return msg_type, b""
+    payload = recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between frame header and payload")
+    return msg_type, payload
+
+
+def split_frames(data: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES) -> list[tuple[int, bytes]]:
+    """Split a byte string holding a concatenation of complete frames."""
+    frames: list[tuple[int, bytes]] = []
+    offset = 0
+    while offset < len(data):
+        if offset + HEADER_SIZE > len(data):
+            raise ProtocolError("trailing bytes shorter than a frame header")
+        msg_type, length = parse_header(data[offset : offset + HEADER_SIZE], max_payload)
+        offset += HEADER_SIZE
+        if offset + length > len(data):
+            raise ProtocolError("frame payload truncated")
+        frames.append((msg_type, data[offset : offset + length]))
+        offset += length
+    return frames
+
+
+# -- request / response payloads ----------------------------------------------
+
+_RECORD_REQ_NAME = "<H"  # name length; name bytes follow, then the group
+_RECORD_REQ_GROUP = "<H"
+
+
+@dataclass(frozen=True)
+class RecordRequest:
+    """One ``GET_RECORD``: a record name and the scan group to serve it at."""
+
+    record_name: str
+    scan_group: int
+
+
+def pack_record_request(request: RecordRequest) -> bytes:
+    name = request.record_name.encode("utf-8")
+    return struct.pack(_RECORD_REQ_NAME, len(name)) + name + struct.pack(
+        _RECORD_REQ_GROUP, request.scan_group
+    )
+
+
+def _unpack_record_request(payload: bytes, offset: int) -> tuple[RecordRequest, int]:
+    if offset + 2 > len(payload):
+        raise ProtocolError("record request truncated before the name length")
+    (name_length,) = struct.unpack_from(_RECORD_REQ_NAME, payload, offset)
+    offset += 2
+    if offset + name_length + 2 > len(payload):
+        raise ProtocolError("record request truncated inside the name or group")
+    name = payload[offset : offset + name_length].decode("utf-8")
+    offset += name_length
+    (group,) = struct.unpack_from(_RECORD_REQ_GROUP, payload, offset)
+    return RecordRequest(record_name=name, scan_group=group), offset + 2
+
+
+def unpack_record_request(payload: bytes) -> RecordRequest:
+    request, consumed = _unpack_record_request(payload, 0)
+    if consumed != len(payload):
+        raise ProtocolError(f"{len(payload) - consumed} trailing bytes after record request")
+    return request
+
+
+def pack_batch_request(requests: list[RecordRequest]) -> bytes:
+    parts = [struct.pack("<H", len(requests))]
+    parts.extend(pack_record_request(request) for request in requests)
+    return b"".join(parts)
+
+
+def unpack_batch_request(payload: bytes) -> list[RecordRequest]:
+    if len(payload) < 2:
+        raise ProtocolError("batch request shorter than its count field")
+    (count,) = struct.unpack_from("<H", payload, 0)
+    offset = 2
+    requests: list[RecordRequest] = []
+    for _ in range(count):
+        request, offset = _unpack_record_request(payload, offset)
+        requests.append(request)
+    if offset != len(payload):
+        raise ProtocolError(f"{len(payload) - offset} trailing bytes after batch request")
+    return requests
+
+
+def pack_batch_response(sub_frames: list[bytes]) -> bytes:
+    """A batch response payload: count + concatenated complete sub-frames."""
+    return struct.pack("<H", len(sub_frames)) + b"".join(sub_frames)
+
+
+def unpack_batch_response(
+    payload: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> list[tuple[int, bytes]]:
+    if len(payload) < 2:
+        raise ProtocolError("batch response shorter than its count field")
+    (count,) = struct.unpack_from("<H", payload, 0)
+    frames = split_frames(payload[2:], max_payload)
+    if len(frames) != count:
+        raise ProtocolError(f"batch response announced {count} frames, found {len(frames)}")
+    return frames
+
+
+def pack_error(code: int, message: str) -> bytes:
+    text = message.encode("utf-8")
+    return struct.pack("<H", code) + text
+
+
+def unpack_error(payload: bytes) -> RemoteError:
+    if len(payload) < 2:
+        raise ProtocolError("error frame shorter than its code field")
+    (code,) = struct.unpack_from("<H", payload, 0)
+    return RemoteError(code, payload[2:].decode("utf-8", errors="replace"))
+
+
+def error_frame(code: int, message: str) -> bytes:
+    """A complete, ready-to-send ``ERROR`` frame."""
+    return encode_frame(MSG_ERROR, pack_error(code, message))
+
+
+def pack_json(obj: object) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def unpack_json(payload: bytes) -> dict:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable JSON payload: {exc}") from exc

@@ -1,0 +1,156 @@
+"""A network-backed record source with the read interface ``DataLoader`` uses.
+
+``RemoteRecordSource`` mirrors the slice of the
+:class:`~repro.core.dataset.PCRDataset` API the data-loading pipeline
+consumes — ``record_names``, ``read_record``, ``__len__``, and the
+switchable ``scan_group`` — but fetches record bytes from a
+:class:`~repro.serving.server.PCRRecordServer` instead of the local
+filesystem.  Decoding stays on the client: the server ships compressed
+prefixes, so the network carries exactly the bytes the fidelity target
+requires, and a dynamic tuning controller can call :meth:`set_scan_group`
+mid-training to retarget every subsequent fetch (the over-the-network
+version of the paper's lightweight quality switch).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.codecs.progressive import ProgressiveCodec
+from repro.core.index import RecordIndex
+from repro.core.reader import (
+    PCRSample,
+    ReadStats,
+    assemble_samples,
+    validate_scan_group,
+)
+from repro.serving.client import DEFAULT_POOL_SIZE, PCRClient
+
+
+class RemoteRecordSource:
+    """Reads PCR records from a record server; drop-in ``DataLoader`` source."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scan_group: int | None = None,
+        decode: bool = True,
+        client: PCRClient | None = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+    ) -> None:
+        self.client = client if client is not None else PCRClient(
+            host=host, port=port, pool_size=pool_size
+        )
+        self._owns_client = client is None
+        meta = self.client.dataset_meta()
+        self.dataset_meta: dict = meta["dataset"]
+        self.n_groups: int = int(meta["n_groups"])
+        self._n_samples: int = int(meta["n_samples"])
+        self._record_names: list[str] = list(meta["record_names"])
+        self._scan_group = scan_group if scan_group is not None else self.n_groups
+        self._validate_group(self._scan_group)
+        self.decode_by_default = decode
+        self._codec = ProgressiveCodec(quality=int(self.dataset_meta.get("quality", 90)))
+        self._indexes: dict[str, RecordIndex] = {}
+        self._lock = threading.Lock()
+        self.stats = ReadStats()
+
+    # -- dataset structure ---------------------------------------------------
+
+    @property
+    def record_names(self) -> list[str]:
+        """Record names, as enumerated by the server."""
+        return list(self._record_names)
+
+    def __len__(self) -> int:
+        return self._n_samples
+
+    @property
+    def n_samples(self) -> int:
+        return self._n_samples
+
+    def record_index(self, record_name: str) -> RecordIndex:
+        """Offset index of one record, fetched once and cached."""
+        with self._lock:
+            index = self._indexes.get(record_name)
+        if index is None:
+            index = self.client.get_index(record_name)
+            with self._lock:
+                self._indexes[record_name] = index
+        return index
+
+    # -- quality control -----------------------------------------------------
+
+    @property
+    def scan_group(self) -> int:
+        """The scan group used for subsequent record fetches."""
+        return self._scan_group
+
+    def set_scan_group(self, scan_group: int) -> None:
+        """Retarget the fidelity of every subsequent fetch (no reconnect)."""
+        self._validate_group(scan_group)
+        self._scan_group = scan_group
+
+    def _validate_group(self, scan_group: int) -> None:
+        validate_scan_group(scan_group, self.n_groups)
+
+    # -- reading -------------------------------------------------------------
+
+    def read_record(self, record_name: str, decode: bool | None = None) -> list[PCRSample]:
+        """Fetch and reassemble one record at the current scan group."""
+        data = self.client.get_record_bytes(record_name, self._scan_group)
+        with self._lock:
+            self.stats.bytes_read += len(data)
+            self.stats.records_read += 1
+        return self._assemble(data, decode)
+
+    def read_record_batch(
+        self, record_names: list[str], decode: bool | None = None
+    ) -> list[list[PCRSample]]:
+        """Pipelined fetch of several records in one server round trip."""
+        group = self._scan_group
+        blobs = self.client.get_record_batch([(name, group) for name in record_names])
+        out: list[list[PCRSample]] = []
+        for data in blobs:
+            with self._lock:
+                self.stats.bytes_read += len(data)
+                self.stats.records_read += 1
+            out.append(self._assemble(data, decode))
+        return out
+
+    def _assemble(self, data: bytes, decode: bool | None) -> list[PCRSample]:
+        decode = self.decode_by_default if decode is None else decode
+        samples = assemble_samples(data, self._codec, decode)
+        if decode:
+            with self._lock:
+                self.stats.samples_decoded += len(samples)
+        return samples
+
+    def __iter__(self):
+        for record_name in self._record_names:
+            yield from self.read_record(record_name)
+
+    # -- accounting ----------------------------------------------------------
+
+    def bytes_for_group(self, record_name: str, scan_group: int) -> int:
+        """Bytes the server ships for one record at ``scan_group``."""
+        return self.record_index(record_name).bytes_for_group(scan_group)
+
+    def epoch_bytes(self) -> int:
+        """Bytes transferred per epoch at the current scan group."""
+        return sum(
+            self.bytes_for_group(name, self._scan_group) for name in self._record_names
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_client:
+            self.client.close()
+
+    def __enter__(self) -> "RemoteRecordSource":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

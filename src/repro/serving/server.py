@@ -1,0 +1,408 @@
+"""A threaded TCP server that serves PCR record prefixes over the network.
+
+``PCRRecordServer`` wraps a :class:`~repro.core.reader.PCRReader` and answers
+the wire protocol of :mod:`repro.serving.protocol`.  Its cache exploits the
+defining property of the PCR layout: the bytes a reader needs at scan group
+*k* are a strict prefix of the bytes it needs at any group *g ≥ k*.  The
+cache therefore keys entries by record and remembers the *highest* group it
+has seen for each; any request at a lower group is served by slicing the
+cached prefix (a *prefix-containment hit*) without touching storage.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import PCRError, ScanGroupError
+from repro.core.reader import PCRReader
+from repro.serving import protocol
+from repro.serving.protocol import (
+    DEFAULT_MAX_PAYLOAD_BYTES,
+    MSG_BATCH,
+    MSG_BATCH_DATA,
+    MSG_DATASET_META,
+    MSG_GET_INDEX,
+    MSG_GET_RECORD,
+    MSG_INDEX_DATA,
+    MSG_META_DATA,
+    MSG_RECORD_DATA,
+    MSG_STAT,
+    MSG_STAT_DATA,
+    ProtocolError,
+)
+
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class _CacheEntry:
+    scan_group: int
+    data: bytes
+
+
+class ScanPrefixCache:
+    """An LRU byte cache of record prefixes with prefix-containment hits.
+
+    One entry per record, holding the longest prefix (highest scan group)
+    seen so far.  A lookup at group ``g`` hits whenever the cached group is
+    ``≥ g``: the response is the first ``bytes_for_group(g)`` bytes of the
+    cached prefix.  Eviction is least-recently-used by total cached bytes.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.exact_hits = 0
+        self.prefix_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.hits_by_group: dict[int, int] = {}
+        self.misses_by_group: dict[int, int] = {}
+        self.bytes_served_by_group: dict[int, int] = {}
+
+    def get(self, record_name: str, scan_group: int, length: int) -> bytes | None:
+        """Return the first ``length`` bytes of the record, or ``None`` on miss."""
+        with self._lock:
+            entry = self._entries.get(record_name)
+            if entry is None or entry.scan_group < scan_group:
+                self.misses += 1
+                self.misses_by_group[scan_group] = self.misses_by_group.get(scan_group, 0) + 1
+                return None
+            self._entries.move_to_end(record_name)
+            if entry.scan_group == scan_group:
+                self.exact_hits += 1
+            else:
+                self.prefix_hits += 1
+            self.hits_by_group[scan_group] = self.hits_by_group.get(scan_group, 0) + 1
+            self.bytes_served_by_group[scan_group] = (
+                self.bytes_served_by_group.get(scan_group, 0) + length
+            )
+            return entry.data[:length]
+
+    def put(self, record_name: str, scan_group: int, data: bytes) -> None:
+        """Cache a record prefix read at ``scan_group`` (longest prefix wins)."""
+        if len(data) > self.capacity_bytes:
+            return
+        with self._lock:
+            existing = self._entries.get(record_name)
+            if existing is not None:
+                if existing.scan_group >= scan_group:
+                    self._entries.move_to_end(record_name)
+                    return
+                self._bytes -= len(existing.data)
+            self._entries[record_name] = _CacheEntry(scan_group=scan_group, data=data)
+            self._entries.move_to_end(record_name)
+            self._bytes += len(data)
+            while self._bytes > self.capacity_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted.data)
+                self.evictions += 1
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for the ``STAT`` response and the serving benchmark."""
+        with self._lock:
+            hits = self.exact_hits + self.prefix_hits
+            lookups = hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "cached_bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "exact_hits": self.exact_hits,
+                "prefix_hits": self.prefix_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / lookups if lookups else 0.0,
+                "prefix_hit_rate": self.prefix_hits / lookups if lookups else 0.0,
+                "hits_by_group": {str(g): n for g, n in sorted(self.hits_by_group.items())},
+                "misses_by_group": {str(g): n for g, n in sorted(self.misses_by_group.items())},
+                "bytes_served_by_group": {
+                    str(g): n for g, n in sorted(self.bytes_served_by_group.items())
+                },
+            }
+
+
+class _RequestHandler(socketserver.BaseRequestHandler):
+    """Per-connection loop: read frames, dispatch, write responses."""
+
+    def setup(self) -> None:
+        record_server: PCRRecordServer = self.server.record_server  # type: ignore[attr-defined]
+        record_server._register_connection(self.request, threading.current_thread())
+        if record_server._stopping.is_set():
+            # Accepted in serve_forever's final iteration, registered after
+            # stop() snapshotted the registry: sever ourselves so the
+            # handler loop exits immediately instead of outliving stop().
+            try:
+                self.request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def finish(self) -> None:
+        self.server.record_server._unregister_connection(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:
+        record_server: PCRRecordServer = self.server.record_server  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        while True:
+            try:
+                frame = protocol.read_frame(sock, record_server.max_payload)
+            except OSError:
+                return  # connection reset or severed by server shutdown
+            except ProtocolError as exc:
+                self._send_quietly(
+                    sock, protocol.error_frame(protocol.ERR_MALFORMED, str(exc))
+                )
+                return
+            if frame is None:
+                return
+            msg_type, payload = frame
+            response = record_server.dispatch(msg_type, payload)
+            if not self._send_quietly(sock, response):
+                return
+
+    @staticmethod
+    def _send_quietly(sock: socket.socket, data: bytes) -> bool:
+        try:
+            sock.sendall(data)
+            return True
+        except OSError:
+            return False
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class PCRRecordServer:
+    """Serves a PCR dataset directory to remote readers over TCP.
+
+    The server owns one shared (thread-safe) :class:`PCRReader`; every
+    client connection is handled on its own thread, and all connections
+    share the scan-prefix cache.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with PCRRecordServer(dataset_dir, port=0) as server:
+            client = PCRClient(port=server.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        dataset: str | Path | PCRReader,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
+    ) -> None:
+        if isinstance(dataset, PCRReader):
+            self.reader = dataset
+            self._owns_reader = False
+        else:
+            self.reader = PCRReader(dataset, decode=False)
+            self._owns_reader = True
+        self.host = host
+        self.max_payload = max_payload
+        self.cache = ScanPrefixCache(capacity_bytes=cache_bytes)
+        self.requests_by_type: dict[int, int] = {}
+        self.errors = 0
+        self._counter_lock = threading.Lock()
+        self._connections: dict[socket.socket, threading.Thread] = {}
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._tcp_server = _ThreadingTCPServer((host, port), _RequestHandler)
+        self._tcp_server.record_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with port=0)."""
+        return self._tcp_server.server_address[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "PCRRecordServer":
+        """Start accepting connections on a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp_server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name=f"pcr-record-server:{self.port}",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Gracefully stop: unbind, sever live connections, join every handler.
+
+        Established connections are shut down explicitly — a persistent
+        client blocked in ``recv`` would otherwise keep its handler thread
+        (and the reader underneath it) alive past "shutdown".  Only after
+        every handler has exited is the reader closed.
+        """
+        self._stopping.set()
+        if self._thread is not None:
+            self._tcp_server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Every handler thread was spawned inside serve_forever, so after the
+        # join above the registry can only shrink.  A handler registered after
+        # our snapshot severs itself (see _RequestHandler.setup).
+        with self._connections_lock:
+            live = list(self._connections.items())
+        for conn, _ in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        for _, handler_thread in live:
+            handler_thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._tcp_server.server_close()
+        if self._owns_reader:
+            self.reader.close()
+
+    def _register_connection(self, conn: socket.socket, thread: threading.Thread) -> None:
+        with self._connections_lock:
+            self._connections[conn] = thread
+
+    def _unregister_connection(self, conn: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.pop(conn, None)
+
+    def __enter__(self) -> "PCRRecordServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, msg_type: int, payload: bytes) -> bytes:
+        """Map one request frame to one complete response frame."""
+        with self._counter_lock:
+            self.requests_by_type[msg_type] = self.requests_by_type.get(msg_type, 0) + 1
+        try:
+            if msg_type == MSG_GET_RECORD:
+                request = protocol.unpack_record_request(payload)
+                return self._record_response(request)
+            if msg_type == MSG_GET_INDEX:
+                request = protocol.unpack_record_request(payload)
+                index = self.reader.record_index(request.record_name)
+                return protocol.encode_frame(
+                    MSG_INDEX_DATA, index.to_json().encode("utf-8"), self.max_payload
+                )
+            if msg_type == MSG_STAT:
+                return protocol.encode_frame(
+                    MSG_STAT_DATA, protocol.pack_json(self.stats()), self.max_payload
+                )
+            if msg_type == MSG_DATASET_META:
+                return protocol.encode_frame(
+                    MSG_META_DATA, protocol.pack_json(self._dataset_meta()), self.max_payload
+                )
+            if msg_type == MSG_BATCH:
+                return self._batch_response(payload)
+            return self._error(
+                protocol.ERR_UNSUPPORTED, f"unknown request type 0x{msg_type:02x}"
+            )
+        except ProtocolError as exc:
+            return self._error(protocol.ERR_MALFORMED, str(exc))
+        except ScanGroupError as exc:
+            return self._error(protocol.ERR_BAD_SCAN_GROUP, str(exc))
+        except PCRError as exc:
+            return self._error(protocol.ERR_NOT_FOUND, str(exc))
+        except Exception as exc:  # never let a handler thread die silently
+            return self._error(protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    def _record_response(self, request: protocol.RecordRequest) -> bytes:
+        data = self.serve_record_bytes(request.record_name, request.scan_group)
+        if len(data) > self.max_payload:
+            return self._error(
+                protocol.ERR_OVERSIZED,
+                f"record prefix of {len(data)} bytes exceeds the frame limit",
+            )
+        return protocol.encode_frame(MSG_RECORD_DATA, data, self.max_payload)
+
+    def _batch_response(self, payload: bytes) -> bytes:
+        requests = protocol.unpack_batch_request(payload)
+        sub_frames: list[bytes] = []
+        total = 2  # the count field of the batch body
+        for index, request in enumerate(requests):
+            frame = self._record_response(request)
+            total += len(frame)
+            if total > self.max_payload:
+                # Bail before materializing more sub-frames: a small BATCH
+                # request must not be able to force an unbounded response
+                # allocation server-side.
+                return self._error(
+                    protocol.ERR_OVERSIZED,
+                    f"batch response exceeds the frame limit at sub-request "
+                    f"{index} of {len(requests)}; split the batch",
+                )
+            sub_frames.append(frame)
+        body = protocol.pack_batch_response(sub_frames)
+        return protocol.encode_frame(MSG_BATCH_DATA, body, self.max_payload)
+
+    def _error(self, code: int, message: str) -> bytes:
+        with self._counter_lock:
+            self.errors += 1
+        return protocol.error_frame(code, message)
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_record_bytes(self, record_name: str, scan_group: int) -> bytes:
+        """Record prefix at ``scan_group``, from cache when containment allows."""
+        self.reader._validate_group(scan_group)
+        length = self.reader.bytes_for_group(record_name, scan_group)
+        cached = self.cache.get(record_name, scan_group, length)
+        if cached is not None:
+            return cached
+        data = self.reader.read_record_bytes(record_name, scan_group)
+        self.cache.put(record_name, scan_group, data)
+        return data
+
+    def _dataset_meta(self) -> dict:
+        return {
+            "dataset": self.reader.dataset_meta,
+            "n_groups": self.reader.n_groups,
+            "n_samples": self.reader.n_samples,
+            "record_names": self.reader.record_names,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "max_payload_bytes": self.max_payload,
+        }
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics (also the ``STAT`` response body)."""
+        with self._counter_lock:
+            requests = dict(self.requests_by_type)
+            errors = self.errors
+        return {
+            "address": list(self.address),
+            "requests_by_type": {f"0x{t:02x}": n for t, n in sorted(requests.items())},
+            "n_requests": sum(requests.values()),
+            "errors": errors,
+            "reader_bytes_read": self.reader.stats.bytes_read,
+            "reader_records_read": self.reader.stats.records_read,
+            "cache": self.cache.stats(),
+        }

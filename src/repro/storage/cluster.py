@@ -10,11 +10,17 @@ the compute-to-storage ratio.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.storage.device import HDD_PROFILE, BlockDevice, DeviceProfile
 
 DEFAULT_STRIPE_BYTES = 4 * 1024 * 1024
+
+
+def placement_osd(name: str, n_osds: int) -> int:
+    """Deterministic first-OSD placement for an object name."""
+    return zlib.crc32(name.encode("utf-8")) % n_osds
 
 
 @dataclass
@@ -53,7 +59,10 @@ class StorageCluster:
         if name in self._objects:
             raise FileExistsError(f"object {name!r} already exists")
         location = ObjectLocation(name=name, size=len(data))
-        osd_index = hash(name) % len(self.osds)
+        # Stable placement: ``hash(str)`` is salted per process
+        # (PYTHONHASHSEED), which made simulated latencies irreproducible
+        # across runs; CRC32 pins each object to the same OSD everywhere.
+        osd_index = placement_osd(name, len(self.osds))
         cursor = 0
         while cursor < len(data) or not location.stripes:
             chunk = data[cursor : cursor + self.stripe_bytes]

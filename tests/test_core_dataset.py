@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.codecs.baseline import BaselineCodec
-from repro.codecs.image import ImageBuffer
 from repro.codecs.progressive import ProgressiveCodec
 from repro.codecs.transcode import transcode_to_progressive
 from repro.core.convert import build_static_copies, convert_to_pcr, reference_record_bytes
@@ -188,3 +187,77 @@ class TestConverters:
         report = build_static_copies(few_samples, tmp_path / "static3", qualities=(75,))
         with pytest.raises(ValueError):
             report.space_amplification(0)
+
+
+class TestReaderConcurrency:
+    """Regression: one PCRReader shared by many threads must behave like one."""
+
+    def test_concurrent_reads_match_sequential(self, pcr_dataset):
+        import threading
+
+        reader = PCRReader(pcr_dataset.reader.directory, decode=False)
+        names = reader.record_names
+        groups = list(range(1, reader.n_groups + 1))
+        expected = {
+            (name, group): reader.read_record_bytes(name, group)
+            for name in names
+            for group in (1, reader.n_groups)
+        }
+        reader.stats.reset()
+        mismatches: list[str] = []
+        errors: list[BaseException] = []
+
+        def hammer(thread_index: int) -> None:
+            try:
+                for round_index in range(3):
+                    for name in names:
+                        group = groups[(thread_index + round_index) % len(groups)]
+                        data = reader.read_record_bytes(name, group)
+                        want = reader.record_index(name).bytes_for_group(group)
+                        if len(data) != want:
+                            mismatches.append(f"{name}@{group}: {len(data)} != {want}")
+                    for name in names:
+                        for group in (1, reader.n_groups):
+                            if reader.read_record_bytes(name, group) != expected[(name, group)]:
+                                mismatches.append(f"{name}@{group}: payload drift")
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert not mismatches, mismatches[:5]
+        # Counters under the lock must account for every read exactly once.
+        n_reads = 8 * 3 * (len(names) + 2 * len(names))
+        assert reader.stats.records_read == n_reads
+        reader.close()
+
+    def test_concurrent_decoded_reads(self, pcr_dataset):
+        """Decoding readers share index cache, stats, and the kvstore handle."""
+        import threading
+
+        reader = pcr_dataset.reader
+        name = pcr_dataset.record_names[0]
+        baseline = reader.read_record(name, 1, decode=True)
+        results: list[list] = [[] for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def decode_worker(slot: int) -> None:
+            try:
+                results[slot] = reader.read_record(name, 1, decode=True)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=decode_worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        for decoded in results:
+            assert [s.key for s in decoded] == [s.key for s in baseline]
+            for mine, ref in zip(decoded, baseline):
+                assert np.array_equal(mine.image.pixels, ref.image.pixels)

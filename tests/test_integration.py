@@ -11,7 +11,6 @@ from repro.datasets.registry import CARS_SPEC, generate_dataset
 from repro.pipeline.loader import DataLoader, LoaderConfig
 from repro.simulate.trainer_sim import ClusterSpec, TrainingSimulator
 from repro.storage.cluster import StorageCluster
-from repro.storage.device import HDD_PROFILE
 from repro.training.loop import Trainer
 from repro.training.models import LinearProbe
 from repro.training.optim import SGD
