@@ -1,0 +1,9 @@
+"""Cross-cutting utilities shared by the storage and serving layers."""
+
+from repro.common.hashing import ConsistentHashRing, placement_index, stable_hash
+
+__all__ = [
+    "ConsistentHashRing",
+    "placement_index",
+    "stable_hash",
+]

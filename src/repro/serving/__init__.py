@@ -19,15 +19,31 @@ The subsystem has four parts:
     ``RemoteRecordSource`` — the ``DataLoader``-compatible record source
     that streams minibatches from a server with a runtime-switchable scan
     group.
+
+:mod:`repro.serving.cluster`
+    The multi-node layer: ``ShardMap`` (consistent-hash routing),
+    ``ClusterCoordinator`` (shard fleet supervision),
+    ``ClusterClient`` (failover-aware routing client), and
+    ``ShardedRemoteRecordSource`` (the clustered ``DataLoader`` source).
 """
 
 from repro.serving.client import PCRClient
+from repro.serving.cluster import (
+    ClusterClient,
+    ClusterCoordinator,
+    ShardMap,
+    ShardedRemoteRecordSource,
+)
 from repro.serving.remote_source import RemoteRecordSource
 from repro.serving.server import PCRRecordServer, ScanPrefixCache
 
 __all__ = [
+    "ClusterClient",
+    "ClusterCoordinator",
     "PCRClient",
     "PCRRecordServer",
     "RemoteRecordSource",
     "ScanPrefixCache",
+    "ShardMap",
+    "ShardedRemoteRecordSource",
 ]

@@ -1,0 +1,136 @@
+"""Deterministic record-to-shard routing for the PCR serving cluster.
+
+A :class:`ShardMap` describes a cluster topology — *N* shards, each backed
+by *R* replica endpoints — and answers two questions any participant
+(coordinator, client, benchmark) must agree on without coordination:
+
+* which shard owns a record name, via a
+  :class:`~repro.common.hashing.ConsistentHashRing` over the shard ids with
+  virtual nodes, so adding or removing a shard moves only ~``1/N`` of the
+  records;
+* in which order a reader should try a shard's replicas, rotated
+  deterministically per record so read load spreads across replicas while
+  every client still walks the same failover sequence.
+
+The map is a pure value object: recomputing the topology (scale out,
+drop a shard) is just constructing a new ``ShardMap`` and comparing
+ownership, which :meth:`moved_records` makes explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.common.hashing import DEFAULT_VNODE_FACTOR, ConsistentHashRing, stable_hash
+
+
+@dataclass(frozen=True)
+class ShardReplica:
+    """One serving endpoint: a replica of one shard."""
+
+    shard_id: str
+    replica_index: int
+    host: str
+    port: int
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+class ShardMap:
+    """Consistent-hash assignment of record names to replicated shards."""
+
+    def __init__(
+        self,
+        shards: Mapping[str, Sequence[tuple[str, int]]],
+        vnode_factor: int = DEFAULT_VNODE_FACTOR,
+    ) -> None:
+        if not shards:
+            raise ValueError("a shard map needs at least one shard")
+        self._replicas: dict[str, list[ShardReplica]] = {}
+        for shard_id, endpoints in shards.items():
+            if not endpoints:
+                raise ValueError(f"shard {shard_id!r} has no replica endpoints")
+            self._replicas[shard_id] = [
+                ShardReplica(shard_id=shard_id, replica_index=i, host=host, port=port)
+                for i, (host, port) in enumerate(endpoints)
+            ]
+        self.vnode_factor = vnode_factor
+        self._ring = ConsistentHashRing(self._replicas.keys(), vnode_factor=vnode_factor)
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return list(self._replicas)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._replicas)
+
+    def replicas(self, shard_id: str) -> list[ShardReplica]:
+        """All replicas of one shard, in declaration order."""
+        try:
+            return list(self._replicas[shard_id])
+        except KeyError as exc:
+            raise KeyError(f"unknown shard {shard_id!r}") from exc
+
+    def all_replicas(self) -> list[ShardReplica]:
+        """Every endpoint in the cluster, shard-major."""
+        return [replica for replicas in self._replicas.values() for replica in replicas]
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_for(self, record_name: str) -> str:
+        """The shard owning ``record_name``."""
+        return self._ring.node_for(record_name)
+
+    def owners(self, record_name: str) -> list[ShardReplica]:
+        """The owning shard's replicas in this record's failover order.
+
+        The preferred (first) replica rotates with the record hash, so a
+        cluster of readers spreads load across a shard's replicas instead of
+        hammering replica 0 — yet every reader computes the same order.
+        """
+        replicas = self._replicas[self.shard_for(record_name)]
+        offset = stable_hash(record_name) % len(replicas)
+        return replicas[offset:] + replicas[:offset]
+
+    def partition(self, record_names: Iterable[str]) -> dict[str, list[str]]:
+        """Split record names by owning shard (every shard gets a key)."""
+        assignment: dict[str, list[str]] = {shard_id: [] for shard_id in self._replicas}
+        for name in record_names:
+            assignment[self.shard_for(name)].append(name)
+        return assignment
+
+    # -- topology change --------------------------------------------------------
+
+    def moved_records(self, other: "ShardMap", record_names: Iterable[str]) -> list[str]:
+        """Records whose owning shard differs between this map and ``other``.
+
+        With consistent hashing the moved fraction after adding one shard to
+        ``N`` is ~``1/(N+1)`` — the property the determinism tests pin.
+        """
+        return [
+            name for name in record_names if self.shard_for(name) != other.shard_for(name)
+        ]
+
+    def describe(self) -> dict:
+        """A JSON-friendly topology summary (docs, stats, benchmarks)."""
+        return {
+            "n_shards": self.n_shards,
+            "vnode_factor": self.vnode_factor,
+            "shards": {
+                shard_id: [list(replica.endpoint) for replica in replicas]
+                for shard_id, replicas in self._replicas.items()
+            },
+        }
+
+
+def default_shard_ids(n_shards: int) -> list[str]:
+    """The canonical shard naming used by the coordinator: ``shard-0`` …"""
+    if n_shards < 1:
+        raise ValueError("a cluster needs at least one shard")
+    return [f"shard-{index}" for index in range(n_shards)]

@@ -11,6 +11,7 @@ cached prefix (a *prefix-containment hit*) without touching storage.
 
 from __future__ import annotations
 
+import os
 import socket
 import socketserver
 import threading
@@ -204,18 +205,20 @@ class PCRRecordServer:
 
     def __init__(
         self,
-        dataset: str | Path | PCRReader,
+        dataset: str | Path | PCRReader | object,
         host: str = "127.0.0.1",
         port: int = 0,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
     ) -> None:
-        if isinstance(dataset, PCRReader):
-            self.reader = dataset
-            self._owns_reader = False
-        else:
+        if isinstance(dataset, (str, Path, os.PathLike)):
             self.reader = PCRReader(dataset, decode=False)
             self._owns_reader = True
+        else:
+            # A PCRReader or any reader-shaped view (e.g. the cluster's
+            # ShardViewReader); its owner is responsible for closing it.
+            self.reader = dataset
+            self._owns_reader = False
         self.host = host
         self.max_payload = max_payload
         self.cache = ScanPrefixCache(capacity_bytes=cache_bytes)

@@ -10,17 +10,21 @@ the compute-to-storage ratio.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 
+from repro.common.hashing import placement_index
 from repro.storage.device import HDD_PROFILE, BlockDevice, DeviceProfile
 
 DEFAULT_STRIPE_BYTES = 4 * 1024 * 1024
 
 
 def placement_osd(name: str, n_osds: int) -> int:
-    """Deterministic first-OSD placement for an object name."""
-    return zlib.crc32(name.encode("utf-8")) % n_osds
+    """Deterministic first-OSD placement for an object name.
+
+    Delegates to :func:`repro.common.hashing.placement_index` so storage
+    placement and serving-shard routing share one hash implementation.
+    """
+    return placement_index(name, n_osds)
 
 
 @dataclass

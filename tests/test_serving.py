@@ -143,6 +143,56 @@ class TestScanPrefixCache:
         cache.put("r", 1, b"toolarge")
         assert len(cache) == 0
 
+    def test_eviction_follows_lru_order_under_byte_pressure(self):
+        """Entries leave strictly least-recently-used-first as bytes overflow."""
+        cache = ScanPrefixCache(capacity_bytes=30)
+        cache.put("a", 1, b"a" * 10)
+        cache.put("b", 1, b"b" * 10)
+        cache.put("c", 1, b"c" * 10)
+        # Recency now a < b < c; touch a and b so c becomes the LRU entry.
+        cache.get("a", 1, 10)
+        cache.get("b", 1, 10)
+        cache.put("d", 1, b"d" * 10)  # evicts c
+        cache.put("e", 1, b"e" * 10)  # evicts a (next LRU after the touches)
+        assert cache.get("c", 1, 10) is None
+        assert cache.get("a", 1, 10) is None
+        assert cache.get("b", 1, 10) == b"b" * 10
+        assert cache.get("d", 1, 10) == b"d" * 10
+        assert cache.evictions == 2
+        assert cache.cached_bytes == 30 and len(cache) == 3
+
+    def test_longer_prefix_replacement_reaccounts_bytes_and_evicts(self):
+        """Upgrading an entry to a longer prefix must charge the byte delta
+        (not double-count) and evict LRU entries if the upgrade overflows."""
+        cache = ScanPrefixCache(capacity_bytes=24)
+        cache.put("a", 1, b"a" * 8)
+        cache.put("b", 1, b"b" * 8)
+        cache.put("a", 3, b"A" * 16)  # upgrade: replaces the 8-byte entry
+        assert cache.cached_bytes == 24  # 16 + 8, old 8 bytes released
+        assert cache.evictions == 0
+        cache.put("b", 5, b"B" * 20)  # upgrade overflows: "a" must go
+        assert cache.get("a", 1, 8) is None
+        assert cache.get("b", 5, 20) == b"B" * 20
+        assert cache.evictions == 1
+        assert cache.cached_bytes == 20 and len(cache) == 1
+
+    def test_stats_counters_after_eviction(self):
+        cache = ScanPrefixCache(capacity_bytes=20)
+        cache.put("a", 2, b"a" * 10)
+        cache.put("b", 2, b"b" * 10)
+        cache.get("a", 1, 5)  # prefix hit while both entries live
+        cache.put("c", 2, b"c" * 10)  # evicts b ("a" was touched)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["cached_bytes"] == 20
+        assert cache.get("b", 1, 5) is None  # the evicted entry is a miss now
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["prefix_hits"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["misses_by_group"]["1"] == 1
+
     def test_per_group_counters(self):
         cache = ScanPrefixCache(capacity_bytes=1 << 20)
         cache.put("r", 4, b"ABCDEFGH")
