@@ -1,11 +1,12 @@
-"""Entropy-codec throughput: vectorized fast path vs scalar reference.
+"""Codec throughput: vectorized fast paths vs scalar references.
 
 Measures MB/s (of compressed stream bytes) for the entropy-coding layer —
 ``encode_coefficients`` / ``decode_coefficients`` — per scan group and for
 the full 10-scan progressive stream, with the fast path on and off, plus
-the full image pipeline (DCT + color + entropy) for context.  Results are
-written to ``BENCH_codec.json`` so the performance trajectory of the codec
-is recorded PR over PR.
+the full image pipeline (DCT + color + entropy), a per-stage decode
+breakdown (entropy / fused dequantize+IDCT / colour+pack), and the
+minibatch decode API.  Results are written to ``BENCH_codec.json`` so the
+performance trajectory of the codec is recorded PR over PR.
 
 Run as a script (writes the JSON):
 
@@ -243,6 +244,30 @@ def _throughput_pair(fn, total_bytes: int, trials: int, seed_fn=None) -> dict:
     return result
 
 
+def _stage_pair(fast_fn, scalar_fn, total_bytes: int, trials: int) -> dict:
+    """Time path-specific stage callables (no fastpath toggling needed).
+
+    Same interleaved best-of-N discipline as :func:`_throughput_pair`; the
+    callables themselves already embody the fast/scalar implementations.
+    """
+    fast_fn()  # warm caches / scratch outside the timed region
+    scalar_fn()
+    fast_seconds = float("inf")
+    scalar_seconds = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        fast_fn()
+        fast_seconds = min(fast_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        scalar_fn()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+    return {
+        "fast_mb_per_s": round(total_bytes / _MB / fast_seconds, 3),
+        "scalar_mb_per_s": round(total_bytes / _MB / scalar_seconds, 3),
+        "speedup_vs_scalar": round(scalar_seconds / fast_seconds, 2),
+    }
+
+
 def run_benchmark(
     image_size: int = DEFAULT_IMAGE_SIZE,
     n_images: int = DEFAULT_N_IMAGES,
@@ -310,17 +335,149 @@ def run_benchmark(
         by_group[str(group)] = entry
     results["entropy_decode_by_scan_group"] = by_group
 
-    # Full pipeline (image <-> stream), for context: includes DCT/colour
-    # stages the fast path does not touch, so ratios are lower (Amdahl).
-    from repro.codecs.progressive import ProgressiveCodec
+    # Full pipeline (image <-> stream).  Decode runs the batched float32
+    # pixel path (fused dequantize+IDCT, strided merge, single-matmul
+    # colour); the remaining gap to the entropy-only rows is the sequential
+    # per-symbol Huffman loop, quantified by the stage breakdown below.
+    from repro.codecs.progressive import ProgressiveCodec, decode_progressive_batch
 
     codec = ProgressiveCodec(quality=quality)
     results["pipeline_encode"] = _throughput_pair(
         lambda: [codec.encode(image) for image in images], stream_bytes, trials
     )
-    results["pipeline_decode"] = _throughput_pair(
-        lambda: [codec.decode(s) for s in streams], stream_bytes, trials
+    # Per-image loop and minibatch API are timed inside the *same* trial
+    # loop (all four variants interleaved) so slow drift in background load
+    # cannot make one row look faster than the other.
+    timings = {"fast_loop": float("inf"), "fast_batch": float("inf"),
+               "scalar_loop": float("inf"), "scalar_batch": float("inf")}
+    with config.use_fastpath(True):
+        [codec.decode(s) for s in streams]  # warm caches/scratch
+        decode_progressive_batch(streams)
+    for _ in range(trials):
+        with config.use_fastpath(True):
+            start = time.perf_counter()
+            [codec.decode(s) for s in streams]
+            timings["fast_loop"] = min(timings["fast_loop"], time.perf_counter() - start)
+            start = time.perf_counter()
+            decode_progressive_batch(streams)
+            timings["fast_batch"] = min(timings["fast_batch"], time.perf_counter() - start)
+        with config.use_fastpath(False):
+            start = time.perf_counter()
+            [codec.decode(s) for s in streams]
+            timings["scalar_loop"] = min(timings["scalar_loop"], time.perf_counter() - start)
+            start = time.perf_counter()
+            decode_progressive_batch(streams)
+            timings["scalar_batch"] = min(timings["scalar_batch"], time.perf_counter() - start)
+    results["pipeline_decode"] = {
+        "fast_mb_per_s": round(stream_bytes / _MB / timings["fast_loop"], 3),
+        "scalar_mb_per_s": round(stream_bytes / _MB / timings["scalar_loop"], 3),
+        "speedup_vs_scalar": round(timings["scalar_loop"] / timings["fast_loop"], 2),
+    }
+    results["pipeline_decode_batch"] = {
+        "fast_mb_per_s": round(stream_bytes / _MB / timings["fast_batch"], 3),
+        "scalar_mb_per_s": round(stream_bytes / _MB / timings["scalar_batch"], 3),
+        "speedup_vs_scalar": round(timings["scalar_batch"] / timings["fast_batch"], 2),
+        "speedup_vs_per_image_loop": round(timings["fast_loop"] / timings["fast_batch"], 2),
+    }
+
+    # Per-stage decode breakdown.  Each stage row times one stage in
+    # isolation on precomputed inputs (fast = float32 pixelpath kernels,
+    # scalar = float64 reference stages); `pct_of_fast_decode` situates the
+    # stages inside the fast end-to-end decode so the remaining bottleneck
+    # is explicit.
+    import numpy as np
+
+    from repro.codecs.blocks import block_grid_shape, merge_blocks
+    from repro.codecs.color import upsample_420, ycbcr_to_rgb
+    from repro.codecs.dct import inverse_dct_blocks
+    from repro.codecs.image import ImageBuffer
+    from repro.codecs.markers import SUBSAMPLING_420
+    from repro.codecs.pixelpath import (
+        PixelScratch,
+        channels_to_pixels,
+        component_channels,
+        decode_to_pixels,
     )
+    from repro.codecs.quantization import dequantize
+    from repro.codecs.zigzag import N_COEFFICIENTS, zigzag_to_blocks
+
+    with config.use_fastpath(True):
+        planes_full = [decode_coefficients(s)[0] for s in streams]
+    scratch = PixelScratch()
+
+    def scalar_dequant_idct(coefficients):
+        header = coefficients.header
+        channels = []
+        for index, plane in enumerate(coefficients.planes):
+            comp_h, comp_w = header.component_shape(index)
+            nv, nh = block_grid_shape(comp_h, comp_w)
+            blocks = zigzag_to_blocks(plane.reshape(nv, nh, N_COEFFICIENTS))
+            dequantized = dequantize(blocks, header.quant_tables.table_for_component(index))
+            channels.append(merge_blocks(inverse_dct_blocks(dequantized), comp_h, comp_w))
+        return channels
+
+    def scalar_color_pack(header, channels):
+        if header.n_components == 1:
+            return ImageBuffer.from_array(channels[0])
+        if header.subsampling == SUBSAMPLING_420:
+            cb = upsample_420(channels[1], header.height, header.width)
+            cr = upsample_420(channels[2], header.height, header.width)
+        else:
+            cb, cr = channels[1], channels[2]
+        ycc = np.stack([channels[0], cb, cr], axis=-1)
+        return ImageBuffer.from_array(ycbcr_to_rgb(ycc))
+
+    # The two scalar stage callables are a stage-split copy of the library's
+    # scalar reference; assert they still compose to it so a change to the
+    # real scalar path cannot silently leave these rows timing a stale copy.
+    from repro.codecs.progressive import _coefficients_to_image_scalar
+
+    for c in planes_full:
+        staged = scalar_color_pack(c.header, scalar_dequant_idct(c))
+        assert np.array_equal(staged.pixels, _coefficients_to_image_scalar(c).pixels), (
+            "benchmark scalar stage split has drifted from _coefficients_to_image_scalar"
+        )
+
+    fast_channels = [component_channels(c, PixelScratch()) for c in planes_full]
+    scalar_channels = [scalar_dequant_idct(c) for c in planes_full]
+    stages = {
+        "entropy_decode": dict(results["entropy_decode_full"]),
+        "dequant_idct_merge": _stage_pair(
+            lambda: [component_channels(c, scratch) for c in planes_full],
+            lambda: [scalar_dequant_idct(c) for c in planes_full],
+            stream_bytes,
+            trials,
+        ),
+        "color_upsample_pack": _stage_pair(
+            lambda: [
+                channels_to_pixels(c.header, chans, scratch)
+                for c, chans in zip(planes_full, fast_channels)
+            ],
+            lambda: [
+                scalar_color_pack(c.header, chans)
+                for c, chans in zip(planes_full, scalar_channels)
+            ],
+            stream_bytes,
+            trials,
+        ),
+        "pixel_decode": _stage_pair(
+            lambda: [decode_to_pixels(c, scratch) for c in planes_full],
+            lambda: [_coefficients_to_image_scalar(c) for c in planes_full],
+            stream_bytes,
+            trials,
+        ),
+    }
+    # Situate the stages inside one fast end-to-end decode.
+    entropy_seconds = 1.0 / stages["entropy_decode"]["fast_mb_per_s"]
+    pixel_seconds = 1.0 / stages["pixel_decode"]["fast_mb_per_s"]
+    total_seconds = entropy_seconds + pixel_seconds
+    stages["entropy_decode"]["pct_of_fast_decode"] = round(
+        100.0 * entropy_seconds / total_seconds, 1
+    )
+    stages["pixel_decode"]["pct_of_fast_decode"] = round(
+        100.0 * pixel_seconds / total_seconds, 1
+    )
+    results["decode_stages"] = stages
     return results
 
 
@@ -337,6 +494,7 @@ def print_report(results: dict) -> None:
         ("entropy_decode_full", "entropy decode (stream -> planes)"),
         ("pipeline_encode", "pipeline encode (image -> stream)"),
         ("pipeline_decode", "pipeline decode (stream -> image)"),
+        ("pipeline_decode_batch", "pipeline decode (minibatch API)"),
     ]:
         row = results[key]
         seed_part = (
@@ -348,6 +506,25 @@ def print_report(results: dict) -> None:
             f"{label:36s} fast {row['fast_mb_per_s']:8.2f} MB/s   "
             f"scalar {row['scalar_mb_per_s']:7.2f} MB/s "
             f"({row['speedup_vs_scalar']:.2f}x){seed_part}"
+        )
+    print("-" * 74)
+    print("decode stage breakdown (stage time per compressed MB):")
+    for key, label in [
+        ("entropy_decode", "entropy (stream -> planes)"),
+        ("dequant_idct_merge", "fused dequant+IDCT+merge"),
+        ("color_upsample_pack", "upsample+colour+pack"),
+        ("pixel_decode", "pixel stage total"),
+    ]:
+        row = results["decode_stages"][key]
+        pct = (
+            f"   {row['pct_of_fast_decode']:4.1f}% of fast decode"
+            if "pct_of_fast_decode" in row
+            else ""
+        )
+        print(
+            f"  {label:34s} fast {row['fast_mb_per_s']:8.2f} MB/s   "
+            f"scalar {row['scalar_mb_per_s']:7.2f} MB/s "
+            f"({row['speedup_vs_scalar']:.2f}x){pct}"
         )
     print("-" * 74)
     print("entropy decode by scan group (prefix streams):")
@@ -362,15 +539,22 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small workload, 1 trial")
     parser.add_argument(
+        "--trials",
+        type=int,
+        default=DEFAULT_TRIALS,
+        help="best-of-N trials per measurement (higher = less timer noise)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_codec.json"),
         help="where to write the JSON results",
     )
     args = parser.parse_args(argv)
     if args.quick:
-        results = run_benchmark(image_size=64, n_images=2, trials=2)
+        quick_trials = args.trials if args.trials != DEFAULT_TRIALS else 2
+        results = run_benchmark(image_size=64, n_images=2, trials=quick_trials)
     else:
-        results = run_benchmark()
+        results = run_benchmark(trials=args.trials)
     print_report(results)
     Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -378,11 +562,16 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def test_codec_throughput_smoke():
-    """Tier-2 smoke: the fast path must beat the scalar reference everywhere."""
+    """Tier-2 smoke: the fast paths must beat the scalar references everywhere."""
     results = run_benchmark(image_size=96, n_images=2, trials=3)
     assert results["entropy_decode_full"]["speedup_vs_scalar"] > 1.5
     assert results["entropy_encode"]["speedup_vs_scalar"] > 1.5
     assert results["pipeline_decode"]["speedup_vs_scalar"] > 1.2
+    # The batched float32 pixel path must clearly beat the float64 stages,
+    # and the minibatch API must not be meaningfully slower than per-image
+    # decoding (they are measured interleaved; allow timer noise).
+    assert results["decode_stages"]["pixel_decode"]["speedup_vs_scalar"] > 2.0
+    assert results["pipeline_decode_batch"]["speedup_vs_per_image_loop"] > 0.8
     print_report(results)
 
 

@@ -16,6 +16,11 @@ equivalent, self-contained codec:
   :mod:`repro.codecs.config`.  Read ``repro.codecs.FASTPATH`` for the current
   setting; flip it with :func:`set_fastpath` or the :func:`use_fastpath`
   context manager.  See ``docs/performance.md``.
+* :mod:`repro.codecs.pixelpath` — the batched float32 pixel-domain fast path
+  (fused dequantize+IDCT scaled bases, strided block merge, single-matmul
+  colour conversion, scratch-buffer reuse for minibatch decodes), gated by
+  the same toggle.  ``decode_progressive_batch`` /
+  ``ProgressiveCodec.decode_batch`` are the minibatch-level decode API.
 * :mod:`repro.codecs.baseline` — sequential, single-scan encoding.
 * :mod:`repro.codecs.progressive` — spectral-selection progressive encoding
   (default 10 scans), partially decodable.
@@ -27,7 +32,11 @@ from repro.codecs import config as _config
 from repro.codecs.baseline import BaselineCodec
 from repro.codecs.config import fastpath_enabled, set_fastpath, use_fastpath
 from repro.codecs.image import ImageBuffer
-from repro.codecs.progressive import ProgressiveCodec, ScanScript
+from repro.codecs.progressive import (
+    ProgressiveCodec,
+    ScanScript,
+    decode_progressive_batch,
+)
 from repro.codecs.quantization import QuantizationTables
 from repro.codecs.transcode import transcode_to_progressive
 
@@ -41,6 +50,7 @@ __all__ = [
     "ProgressiveCodec",
     "QuantizationTables",
     "ScanScript",
+    "decode_progressive_batch",
     "fastpath_enabled",
     "set_fastpath",
     "transcode_to_progressive",

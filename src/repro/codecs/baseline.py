@@ -20,6 +20,7 @@ from repro.codecs.progressive import (
     ScanScript,
     coefficients_to_image,
     decode_coefficients,
+    decode_progressive_batch,
     encode_coefficients,
     image_to_coefficients,
 )
@@ -42,6 +43,16 @@ class BaselineCodec:
         """Decode a sequential stream (optionally only the first scans)."""
         coefficients, _ = decode_coefficients(data, max_scans=max_scans)
         return coefficients_to_image(coefficients)
+
+    def decode_batch(
+        self, payloads: list[bytes], max_scans: int | None = None
+    ) -> list[ImageBuffer]:
+        """Decode a batch of sequential streams with shared work buffers.
+
+        The scan layout is irrelevant to the batch machinery, so this is the
+        same amortized path progressive streams use.
+        """
+        return decode_progressive_batch(payloads, max_scans=max_scans)
 
     def n_scans(self, data: bytes) -> int:
         """Number of scans in the stream (== number of components)."""

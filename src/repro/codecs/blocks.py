@@ -14,8 +14,12 @@ BLOCK_SIZE = 8
 
 
 def pad_to_block_multiple(channel: np.ndarray) -> np.ndarray:
-    """Pad a 2-D channel with edge replication to a multiple of 8."""
-    channel = np.asarray(channel, dtype=np.float64)
+    """Pad a 2-D channel with edge replication to a multiple of 8.
+
+    Dtype-preserving: an already block-aligned channel is returned as-is
+    (no cast, no copy).
+    """
+    channel = np.asarray(channel)
     h, w = channel.shape
     pad_h = (-h) % BLOCK_SIZE
     pad_w = (-w) % BLOCK_SIZE
@@ -24,25 +28,46 @@ def pad_to_block_multiple(channel: np.ndarray) -> np.ndarray:
     return np.pad(channel, ((0, pad_h), (0, pad_w)), mode="edge")
 
 
-def split_into_blocks(channel: np.ndarray) -> np.ndarray:
-    """Split a 2-D channel into an array of 8x8 blocks.
+def split_into_blocks_view(channel: np.ndarray) -> np.ndarray:
+    """Stride-tricks split of a 2-D channel into ``(nv, nh, 8, 8)`` blocks.
 
-    Returns an array of shape ``(n_blocks_v, n_blocks_h, 8, 8)``.  The input
-    is padded to a block multiple first.
+    Returns a *view* whenever the (padded) channel is C-contiguous — no
+    pixel bytes are copied.  Callers that need contiguous blocks (the scalar
+    DCT path) should use :func:`split_into_blocks` instead.
     """
     padded = pad_to_block_multiple(channel)
     h, w = padded.shape
     nv, nh = h // BLOCK_SIZE, w // BLOCK_SIZE
-    blocks = padded.reshape(nv, BLOCK_SIZE, nh, BLOCK_SIZE).swapaxes(1, 2)
-    return np.ascontiguousarray(blocks)
+    return padded.reshape(nv, BLOCK_SIZE, nh, BLOCK_SIZE).swapaxes(1, 2)
+
+
+def split_into_blocks(channel: np.ndarray) -> np.ndarray:
+    """Split a 2-D channel into an array of 8x8 blocks.
+
+    Returns a contiguous array of shape ``(n_blocks_v, n_blocks_h, 8, 8)``.
+    The input is padded to a block multiple first.
+    """
+    return np.ascontiguousarray(split_into_blocks_view(channel))
 
 
 def merge_blocks(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
     """Merge an ``(nv, nh, 8, 8)`` block array into an ``(height, width)`` channel."""
-    blocks = np.asarray(blocks, dtype=np.float64)
+    blocks = np.asarray(blocks)
     nv, nh = blocks.shape[:2]
     merged = blocks.swapaxes(1, 2).reshape(nv * BLOCK_SIZE, nh * BLOCK_SIZE)
     return merged[:height, :width]
+
+
+def merge_blocks_into(blocks: np.ndarray, out: np.ndarray) -> None:
+    """Merge ``(nv, nh, 8, 8)`` blocks into a preallocated padded channel.
+
+    ``out`` must be a C-contiguous ``(nv * 8, nh * 8)`` array; the merge is
+    a single strided assignment into it (no intermediate allocation), which
+    is what the batched pixel path uses to reuse one channel buffer across
+    every image of a minibatch.
+    """
+    nv, nh = blocks.shape[:2]
+    out.reshape(nv, BLOCK_SIZE, nh, BLOCK_SIZE)[:] = blocks.transpose(0, 2, 1, 3)
 
 
 def block_grid_shape(height: int, width: int) -> tuple[int, int]:

@@ -10,15 +10,41 @@ from __future__ import annotations
 
 import numpy as np
 
-# ITU-R BT.601 coefficients, as used by JFIF.
+# ITU-R BT.601 luma weights, as used by JFIF.  The Cb/Cr rows are derived
+# from them exactly (``Cb = 0.5 (B - Y) / (1 - Kb)``, ``Cr = 0.5 (R - Y) /
+# (1 - Kr)``) rather than spelled as the truncated 6-decimal constants the
+# JFIF note prints (-0.168736, -0.331264, -0.418688, -0.081312), so the
+# analytic inverse below is exact rather than approximate.
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
 _RGB_TO_YCBCR = np.array(
     [
-        [0.299, 0.587, 0.114],
-        [-0.168736, -0.331264, 0.5],
-        [0.5, -0.418688, -0.081312],
+        [_KR, _KG, _KB],
+        [-0.5 * _KR / (1.0 - _KB), -0.5 * _KG / (1.0 - _KB), 0.5],
+        [0.5, -0.5 * _KG / (1.0 - _KR), -0.5 * _KB / (1.0 - _KR)],
     ]
 )
-_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+# The exact analytic inverse of the BT.601 forward matrix (Cb/Cr rows scaled
+# so the chroma extrema map to +/-0.5): R = Y + 2(1-Kr)Cr, B = Y + 2(1-Kb)Cb,
+# and G balances the luma equation.  Writing the constants out (instead of a
+# numeric ``np.linalg.inv`` round-trip) keeps the matrix reproducible to the
+# last bit across BLAS/LAPACK builds.
+_CR_TO_R = 2.0 * (1.0 - _KR)  # 1.402
+_CB_TO_B = 2.0 * (1.0 - _KB)  # 1.772
+_CB_TO_G = -(_KB * _CB_TO_B) / _KG  # -0.344136...
+_CR_TO_G = -(_KR * _CR_TO_R) / _KG  # -0.714136...
+_YCBCR_TO_RGB = np.array(
+    [
+        [1.0, 0.0, _CR_TO_R],
+        [1.0, _CB_TO_G, _CR_TO_G],
+        [1.0, _CB_TO_B, 0.0],
+    ]
+)
+
+#: Per-channel constant that folds the Cb/Cr -128 centering into the inverse
+#: matmul: ``(ycc - [0, 128, 128]) @ M.T == ycc @ M.T + _YCBCR_TO_RGB_BIAS``.
+_YCBCR_TO_RGB_BIAS = -128.0 * (_YCBCR_TO_RGB[:, 1] + _YCBCR_TO_RGB[:, 2])
 
 
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
@@ -36,13 +62,18 @@ def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
 
 
 def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
-    """Convert a YCbCr float array back to RGB floats (not clipped)."""
-    ycc = np.asarray(ycc, dtype=np.float64).copy()
+    """Convert a YCbCr float array back to RGB floats (not clipped).
+
+    The -128 chroma centering is folded into a per-channel bias added after
+    the matmul, so the input is neither copied nor mutated and the whole
+    conversion is one matmul plus an in-place offset on the result.
+    """
+    ycc = np.asarray(ycc, dtype=np.float64)
     if ycc.ndim != 3 or ycc.shape[2] != 3:
         raise ValueError(f"expected (H, W, 3) array, got shape {ycc.shape}")
-    ycc[..., 1] -= 128.0
-    ycc[..., 2] -= 128.0
-    return ycc @ _YCBCR_TO_RGB.T
+    rgb = ycc @ _YCBCR_TO_RGB.T
+    rgb += _YCBCR_TO_RGB_BIAS
+    return rgb
 
 
 def subsample_420(channel: np.ndarray) -> np.ndarray:

@@ -1,10 +1,12 @@
-"""Runtime toggle for the vectorized entropy-codec fast path.
+"""Runtime toggle for the vectorized codec fast paths.
 
-``FASTPATH`` gates the table-driven encoder/decoder in
-:mod:`repro.codecs.fastpath`.  It defaults to on; set the environment
+``FASTPATH`` gates both the table-driven entropy coder in
+:mod:`repro.codecs.fastpath` and the batched float32 pixel pipeline in
+:mod:`repro.codecs.pixelpath`.  It defaults to on; set the environment
 variable ``REPRO_CODEC_FASTPATH=0`` (before import) or call
 :func:`set_fastpath` / :func:`use_fastpath` to fall back to the scalar
-reference implementation, which is kept for differential testing.
+reference implementations (per-symbol entropy loops, float64 per-stage
+pixel reconstruction), which are kept for differential testing.
 """
 
 from __future__ import annotations

@@ -3,6 +3,11 @@
 Uses the orthonormal variant so that forward followed by inverse is the
 identity (up to floating point error), and coefficient magnitudes match the
 conventional JPEG quantization tables.
+
+The scalar reference path routes through ``scipy.fft``; the batched pixel
+fast path (:mod:`repro.codecs.pixelpath`) expresses the same transform as
+matrix products against :func:`dct_basis_matrix`, which is the single
+source of truth for the basis both use.
 """
 
 from __future__ import annotations
@@ -11,6 +16,20 @@ import numpy as np
 from scipy.fft import dctn, idctn
 
 from repro.codecs.blocks import BLOCK_SIZE
+
+
+def dct_basis_matrix(n: int = BLOCK_SIZE) -> np.ndarray:
+    """The orthonormal DCT-II basis ``D`` with ``dct(x) == D @ x``.
+
+    ``D[k, i] = c_k * cos((2i + 1) * k * pi / (2n))`` with ``c_0 = sqrt(1/n)``
+    and ``c_k = sqrt(2/n)`` otherwise, so the 2-D transforms factor as
+    ``dctn(X) == D @ X @ D.T`` and ``idctn(C) == D.T @ C @ D``.
+    """
+    i = np.arange(n, dtype=np.float64)
+    basis = np.cos((2.0 * i[None, :] + 1.0) * i[:, None] * np.pi / (2.0 * n))
+    basis *= np.sqrt(2.0 / n)
+    basis[0, :] = np.sqrt(1.0 / n)
+    return basis
 
 
 def forward_dct_blocks(blocks: np.ndarray) -> np.ndarray:

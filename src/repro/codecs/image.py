@@ -98,8 +98,22 @@ class ImageBuffer:
 
     @classmethod
     def from_array(cls, array: np.ndarray) -> "ImageBuffer":
-        """Build an image from any numeric array by clipping to ``[0, 255]``."""
-        return cls(np.clip(np.round(np.asarray(array, dtype=np.float64)), 0, 255).astype(np.uint8))
+        """Build an image from any numeric array by clipping to ``[0, 255]``.
+
+        Dtype-preserving fast paths: ``uint8`` input skips the float64
+        round-trip entirely (a read-only array is wrapped without copying;
+        a writeable one is copied so later caller mutations cannot corrupt
+        the frozen buffer or its cached hash), and float input is
+        rounded/clipped in its own precision — ``np.round`` over float32
+        matches the float64 result exactly, since the cast up is
+        value-preserving.
+        """
+        array = np.asarray(array)
+        if array.dtype == np.uint8:
+            return cls(array.copy() if array.flags.writeable else array)
+        if array.dtype.kind in "iu":
+            return cls(np.clip(array, 0, 255).astype(np.uint8))
+        return cls(np.clip(np.round(array), 0, 255).astype(np.uint8))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ImageBuffer):
@@ -110,4 +124,11 @@ class ImageBuffer:
         )
 
     def __hash__(self) -> int:  # frozen dataclass requires explicit hash with __eq__
-        return hash((self.pixels.shape, self.pixels.tobytes()))
+        # ``pixels.tobytes()`` copies the whole image; hashing a frozen
+        # value twice should not.  Cached via object.__setattr__ because the
+        # dataclass is frozen (the pixel array is treated as immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.pixels.shape, self.pixels.tobytes()))
+            object.__setattr__(self, "_hash", cached)
+        return cached

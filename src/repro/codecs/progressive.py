@@ -43,6 +43,7 @@ from repro.codecs.markers import (
     parse_frame_header,
     write_scan_segment,
 )
+from repro.codecs.pixelpath import PixelScratch, decode_to_pixels
 from repro.codecs.quantization import QuantizationTables, dequantize, quantize
 from repro.codecs.rle import (
     ac_band_symbols,
@@ -188,8 +189,25 @@ def image_to_coefficients(
     return CoefficientPlanes(header=header, planes=planes)
 
 
-def coefficients_to_image(coefficients: CoefficientPlanes) -> ImageBuffer:
-    """Reconstruct an image from (possibly partial) coefficient planes."""
+def coefficients_to_image(
+    coefficients: CoefficientPlanes, scratch: PixelScratch | None = None
+) -> ImageBuffer:
+    """Reconstruct an image from (possibly partial) coefficient planes.
+
+    Dispatches to the batched float32 pixel path
+    (:mod:`repro.codecs.pixelpath`) unless the fast path is disabled via
+    :mod:`repro.codecs.config`; the float64 scalar path is the differential
+    reference (outputs may differ by at most 1 LSB, see the pixel-path
+    module docs).  ``scratch`` lets batch callers reuse work buffers; it is
+    ignored on the scalar path.
+    """
+    if codec_config.FASTPATH:
+        return ImageBuffer(decode_to_pixels(coefficients, scratch))
+    return _coefficients_to_image_scalar(coefficients)
+
+
+def _coefficients_to_image_scalar(coefficients: CoefficientPlanes) -> ImageBuffer:
+    """Scalar float64 reference: per-stage dequantize / IDCT / merge / colour."""
     header = coefficients.header
     tables = header.quant_tables
     channels: list[np.ndarray] = []
@@ -354,6 +372,28 @@ def decode_coefficients(
     return coefficients, len(segments)
 
 
+def decode_progressive_batch(
+    payloads: list[bytes], max_scans: int | None = None
+) -> list[ImageBuffer]:
+    """Decode a whole minibatch of (possibly truncated) streams at once.
+
+    The minibatch-level entry point the ``DataLoader`` path uses: one
+    :class:`~repro.codecs.pixelpath.PixelScratch` amortizes every float32
+    work buffer across the batch, and table/basis setup is shared through
+    the module caches, so per-image cost collapses to the entropy loop plus
+    a handful of in-place kernels.  Decoding is bitwise identical to
+    calling :func:`decode_coefficients` + :func:`coefficients_to_image` per
+    payload — the batch reuses *buffers*, never cross-image arithmetic —
+    which the equivalence tests in ``tests/test_codecs_pixelpath.py`` pin.
+    """
+    scratch = PixelScratch() if codec_config.FASTPATH else None
+    images: list[ImageBuffer] = []
+    for data in payloads:
+        coefficients, _ = decode_coefficients(data, max_scans=max_scans)
+        images.append(coefficients_to_image(coefficients, scratch))
+    return images
+
+
 class ProgressiveCodec:
     """Encode and decode progressive PCR-codec streams."""
 
@@ -383,6 +423,16 @@ class ProgressiveCodec:
         """Decode a (possibly truncated) stream, optionally limiting scans."""
         coefficients, _ = decode_coefficients(data, max_scans=max_scans)
         return coefficients_to_image(coefficients)
+
+    def decode_batch(
+        self, payloads: list[bytes], max_scans: int | None = None
+    ) -> list[ImageBuffer]:
+        """Decode a minibatch of streams, amortizing setup and buffers.
+
+        See :func:`decode_progressive_batch`; results are bitwise identical
+        to per-payload :meth:`decode` calls.
+        """
+        return decode_progressive_batch(payloads, max_scans=max_scans)
 
     def n_scans(self, data: bytes) -> int:
         """Number of complete scans present in an encoded stream."""

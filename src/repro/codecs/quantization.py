@@ -104,5 +104,11 @@ def quantize(coeff_blocks: np.ndarray, table: np.ndarray) -> np.ndarray:
 
 
 def dequantize(quantized_blocks: np.ndarray, table: np.ndarray) -> np.ndarray:
-    """Invert :func:`quantize` (up to rounding loss)."""
-    return np.asarray(quantized_blocks, dtype=np.float64) * table
+    """Invert :func:`quantize` (up to rounding loss).
+
+    The explicit float64 cast is unnecessary — integer coefficients times the
+    float64 table promote exactly — so the input is not copied first.  (The
+    batched decode path skips this function entirely: the table is folded
+    into the scaled IDCT basis, see :mod:`repro.codecs.pixelpath`.)
+    """
+    return np.asarray(quantized_blocks) * table

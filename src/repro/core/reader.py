@@ -56,17 +56,57 @@ def assemble_samples(data: bytes, codec: ProgressiveCodec, decode: bool) -> list
 
     Shared by the local reader and the network
     :class:`~repro.serving.remote_source.RemoteRecordSource`, so the
-    stream-reassembly invariant lives in exactly one place.
+    stream-reassembly invariant lives in exactly one place.  A record is a
+    natural minibatch, so decoding goes through the codec's batch API
+    (:meth:`~repro.codecs.progressive.ProgressiveCodec.decode_batch`), which
+    reuses pixel-stage work buffers across every sample of the record.
     """
     parsed = parse_record_prefix(data)
-    samples: list[PCRSample] = []
-    for metadata, prefix, scans in zip(
-        parsed.samples, parsed.header_prefixes, parsed.scans_per_sample
-    ):
-        stream = assemble_partial_stream(prefix, scans)
-        image = codec.decode(stream) if decode else None
-        samples.append(PCRSample(metadata=metadata, stream=stream, image=image))
-    return samples
+    streams = [
+        assemble_partial_stream(prefix, scans)
+        for prefix, scans in zip(parsed.header_prefixes, parsed.scans_per_sample)
+    ]
+    images = codec.decode_batch(streams) if decode else [None] * len(streams)
+    return [
+        PCRSample(metadata=metadata, stream=stream, image=image)
+        for metadata, stream, image in zip(parsed.samples, streams, images)
+    ]
+
+
+def assemble_samples_batch(
+    blobs: list[bytes], codec: ProgressiveCodec, decode: bool
+) -> list[list[PCRSample]]:
+    """:func:`assemble_samples` over several record prefixes at once.
+
+    All streams of all records decode through one batch-API call, so the
+    pixel-stage scratch buffers are shared across the *whole* fetch — the
+    shape a pipelined multi-record read (``RemoteRecordSource.
+    read_record_batch``) hands the codec.  Results are bitwise identical to
+    per-record assembly.
+    """
+    parsed_records = [parse_record_prefix(data) for data in blobs]
+    streams: list[bytes] = []
+    boundaries: list[int] = []
+    for parsed in parsed_records:
+        streams.extend(
+            assemble_partial_stream(prefix, scans)
+            for prefix, scans in zip(parsed.header_prefixes, parsed.scans_per_sample)
+        )
+        boundaries.append(len(streams))
+    images = codec.decode_batch(streams) if decode else [None] * len(streams)
+    out: list[list[PCRSample]] = []
+    start = 0
+    for parsed, end in zip(parsed_records, boundaries):
+        out.append(
+            [
+                PCRSample(metadata=metadata, stream=stream, image=image)
+                for metadata, stream, image in zip(
+                    parsed.samples, streams[start:end], images[start:end]
+                )
+            ]
+        )
+        start = end
+    return out
 
 
 @dataclass

@@ -192,15 +192,23 @@ class DataLoader:
     def _load_record(
         self, record_name: str, rng: np.random.Generator
     ) -> tuple[list[np.ndarray], list[int]]:
+        # ``read_record`` decodes the whole record through the codec's
+        # minibatch API (shared pixel-stage buffers, one setup per record) —
+        # a record is the loader's unit of batched decode work.
         samples = self.dataset.read_record(record_name, decode=True)
         order = rng.permutation(len(samples))
         images: list[np.ndarray] = []
         labels: list[int] = []
         for index in order:
             sample = samples[index]
-            array = sample.image.as_float()
             if self.augmentations is not None:
-                array = self.augmentations(array, rng)
-            images.append(array)
+                # Augmentations are defined over float64 pixel arrays.
+                images.append(self.augmentations(sample.image.as_float(), rng))
+            else:
+                # No augmentation: hand ``collate`` the uint8 pixels as-is.
+                # Its float32 conversion of uint8 values is bit-identical to
+                # casting through float64 first, so this skips one full-image
+                # float64 copy per sample on the hot path.
+                images.append(sample.image.pixels)
             labels.append(sample.label)
         return images, labels

@@ -4,10 +4,11 @@
 RemoteRecordSource` with a :class:`~repro.serving.cluster.client.
 ClusterClient` underneath: the cluster client exposes the same fetch
 surface as a single-server ``PCRClient``, so every behaviour of the
-single-server source — runtime-switchable scan group, client-side decode,
-pipelined batch reads, byte accounting — carries over verbatim, and a
-replica killed mid-epoch is absorbed by the client's failover instead of
-surfacing to the training loop.
+single-server source — runtime-switchable scan group, client-side
+minibatch decode (every record fetch runs through the codec batch API with
+shared pixel-stage buffers), pipelined batch reads, byte accounting —
+carries over verbatim, and a replica killed mid-epoch is absorbed by the
+client's failover instead of surfacing to the training loop.
 """
 
 from __future__ import annotations

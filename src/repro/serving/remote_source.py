@@ -22,6 +22,7 @@ from repro.core.reader import (
     PCRSample,
     ReadStats,
     assemble_samples,
+    assemble_samples_batch,
     validate_scan_group,
 )
 from repro.serving.client import DEFAULT_POOL_SIZE, PCRClient
@@ -108,15 +109,21 @@ class RemoteRecordSource:
     def read_record_batch(
         self, record_names: list[str], decode: bool | None = None
     ) -> list[list[PCRSample]]:
-        """Pipelined fetch of several records in one server round trip."""
+        """Pipelined fetch of several records in one server round trip.
+
+        Decoding is minibatch-level too: every sample of every fetched
+        record goes through one codec batch call, so pixel-stage work
+        buffers are shared across the whole multi-record response.
+        """
         group = self._scan_group
         blobs = self.client.get_record_batch([(name, group) for name in record_names])
-        out: list[list[PCRSample]] = []
-        for data in blobs:
-            with self._lock:
-                self.stats.bytes_read += len(data)
-                self.stats.records_read += 1
-            out.append(self._assemble(data, decode))
+        decode = self.decode_by_default if decode is None else decode
+        out = assemble_samples_batch(blobs, self._codec, decode)
+        with self._lock:
+            self.stats.bytes_read += sum(len(data) for data in blobs)
+            self.stats.records_read += len(blobs)
+            if decode:
+                self.stats.samples_decoded += sum(len(samples) for samples in out)
         return out
 
     def _assemble(self, data: bytes, decode: bool | None) -> list[PCRSample]:

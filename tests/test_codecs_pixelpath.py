@@ -1,0 +1,358 @@
+"""Differential tests: the batched float32 pixel path vs the float64 reference.
+
+The pixel fast path (:mod:`repro.codecs.pixelpath`) reorders floating-point
+arithmetic (fused scaled-basis gemm, float32 end to end), so decoded pixels
+are allowed to differ from the scalar float64 reference by **at most 1 LSB**
+where a value lands on a rounding tie; that budget is pinned here across
+every scan group, odd dimensions, grayscale/colour, and both subsampling
+modes.  Batch decoding must be *bitwise identical* to a per-image loop —
+the batch API reuses buffers, never cross-image arithmetic.
+
+The satellite fixes ride along: ``ImageBuffer.from_array`` dtype fast
+paths, the cached ``ImageBuffer.__hash__``, and the exact BT.601 inverse in
+``color.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import color, config
+from repro.codecs.baseline import BaselineCodec
+from repro.codecs.dct import dct_basis_matrix
+from repro.codecs.image import ImageBuffer
+from repro.codecs.markers import SUBSAMPLING_420, SUBSAMPLING_NONE
+from repro.codecs.pixelpath import (
+    PixelScratch,
+    decode_to_pixels,
+    scaled_inverse_basis,
+)
+from repro.codecs.progressive import (
+    ProgressiveCodec,
+    decode_coefficients,
+    decode_progressive_batch,
+)
+from repro.codecs.quantization import QuantizationTables
+
+
+def make_structured_image(size: int = 48, seed: int = 0, color_image: bool = True) -> ImageBuffer:
+    """A deterministic image with low- and high-frequency content."""
+    rng = np.random.default_rng(seed)
+    coordinates = np.linspace(0, 1, size)
+    xx, yy = np.meshgrid(coordinates, coordinates)
+    base = 128 + 80 * np.sin(4 * np.pi * xx) * np.cos(2 * np.pi * yy)
+    texture = 30 * np.sin(24 * np.pi * (xx + 0.3 * yy))
+    noise = rng.normal(0, 4, size=(size, size))
+    luma = base + texture + noise
+    if not color_image:
+        return ImageBuffer.from_array(luma)
+    rgb = np.stack([luma, 0.7 * luma + 40.0, 220.0 - 0.5 * luma], axis=-1)
+    return ImageBuffer.from_array(rgb)
+
+
+def _max_lsb_delta(a: ImageBuffer, b: ImageBuffer) -> int:
+    assert a.pixels.shape == b.pixels.shape
+    return int(np.abs(a.pixels.astype(np.int16) - b.pixels.astype(np.int16)).max())
+
+
+class TestFusedBasis:
+    """The scaled-basis operator must reproduce dequantize + IDCT exactly."""
+
+    def test_basis_matches_scipy_idct(self):
+        from scipy.fft import idctn
+
+        basis_matrix = dct_basis_matrix()
+        rng = np.random.default_rng(0)
+        block = rng.standard_normal((8, 8))
+        reference = idctn(block, type=2, norm="ortho")
+        assert np.allclose(basis_matrix.T @ block @ basis_matrix, reference, atol=1e-12)
+
+    @pytest.mark.parametrize("quality", [35, 75, 90])
+    def test_fused_gemm_matches_scalar_stages(self, quality):
+        """plane @ basis == merge(idct(dequant(unzigzag(plane)))) within f32 eps."""
+        from repro.codecs.dct import inverse_dct_blocks
+        from repro.codecs.quantization import dequantize
+        from repro.codecs.zigzag import zigzag_to_blocks
+
+        tables = QuantizationTables.for_quality(quality)
+        rng = np.random.default_rng(quality)
+        plane = rng.integers(-200, 200, size=(12, 64)).astype(np.int32)
+        basis = scaled_inverse_basis(tables.luma)
+        fused = plane.astype(np.float32) @ basis + 128.0
+        scalar = inverse_dct_blocks(dequantize(zigzag_to_blocks(plane), tables.luma))
+        assert np.allclose(fused.reshape(12, 8, 8), scalar, atol=0.01)
+
+    def test_basis_cache_returns_same_object(self):
+        tables = QuantizationTables.for_quality(60)
+        assert scaled_inverse_basis(tables.luma) is scaled_inverse_basis(tables.luma.copy())
+
+
+class TestScalarParity:
+    """Fast decode within 1 LSB of the float64 reference, everywhere."""
+
+    @pytest.mark.parametrize("subsampling", [SUBSAMPLING_420, SUBSAMPLING_NONE])
+    @pytest.mark.parametrize("quality", [50, 90])
+    def test_color_all_scan_groups(self, subsampling, quality):
+        image = make_structured_image(41, seed=7, color_image=True)
+        codec = ProgressiveCodec(quality=quality, subsampling=subsampling)
+        with config.use_fastpath(True):
+            stream = codec.encode(image)
+        n_scans = codec.n_scans(stream)
+        assert n_scans == 10
+        for group in range(1, n_scans + 1):
+            with config.use_fastpath(False):
+                scalar = codec.decode(stream, max_scans=group)
+            with config.use_fastpath(True):
+                fast = codec.decode(stream, max_scans=group)
+            assert _max_lsb_delta(scalar, fast) <= 1, f"scan group {group}"
+
+    def test_grayscale_all_scan_groups(self):
+        image = make_structured_image(40, seed=9, color_image=False)
+        codec = ProgressiveCodec(quality=85)
+        stream = codec.encode(image)
+        for group in range(1, codec.n_scans(stream) + 1):
+            with config.use_fastpath(False):
+                scalar = codec.decode(stream, max_scans=group)
+            with config.use_fastpath(True):
+                fast = codec.decode(stream, max_scans=group)
+            assert _max_lsb_delta(scalar, fast) <= 1
+
+    @pytest.mark.parametrize("size", [17, 23, 31, 41])
+    def test_odd_dimensions_420_padding_edges(self, size):
+        """Odd sizes exercise 4:2:0 padding and the upsample crop edges."""
+        image = make_structured_image(size, seed=size, color_image=True)
+        codec = ProgressiveCodec(quality=80)
+        stream = codec.encode(image)
+        with config.use_fastpath(False):
+            scalar = codec.decode(stream)
+        with config.use_fastpath(True):
+            fast = codec.decode(stream)
+        assert fast.pixels.shape == (size, size, 3)
+        assert _max_lsb_delta(scalar, fast) <= 1
+
+    def test_non_square_image(self):
+        rng = np.random.default_rng(3)
+        image = ImageBuffer.from_array(rng.integers(0, 256, size=(19, 45, 3)))
+        codec = ProgressiveCodec(quality=75)
+        stream = codec.encode(image)
+        with config.use_fastpath(False):
+            scalar = codec.decode(stream)
+        with config.use_fastpath(True):
+            fast = codec.decode(stream)
+        assert _max_lsb_delta(scalar, fast) <= 1
+
+    def test_baseline_sequential_parity(self):
+        image = make_structured_image(35, seed=2, color_image=True)
+        codec = BaselineCodec(quality=70)
+        stream = codec.encode(image)
+        with config.use_fastpath(False):
+            scalar = codec.decode(stream)
+        with config.use_fastpath(True):
+            fast = codec.decode(stream)
+        assert _max_lsb_delta(scalar, fast) <= 1
+
+    def test_random_noise_images(self):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            image = ImageBuffer.from_array(rng.integers(0, 256, size=(33, 33, 3)))
+            codec = ProgressiveCodec(quality=90)
+            stream = codec.encode(image)
+            with config.use_fastpath(False):
+                scalar = codec.decode(stream)
+            with config.use_fastpath(True):
+                fast = codec.decode(stream)
+            assert _max_lsb_delta(scalar, fast) <= 1
+
+
+class TestBatchDecode:
+    """decode_progressive_batch must equal the per-image loop bitwise."""
+
+    def test_batch_equals_loop_mixed_shapes(self):
+        images = [
+            make_structured_image(41, seed=1, color_image=True),
+            make_structured_image(24, seed=2, color_image=False),
+            make_structured_image(33, seed=3, color_image=True),
+            make_structured_image(41, seed=4, color_image=True),
+        ]
+        codec = ProgressiveCodec(quality=88)
+        streams = [codec.encode(image) for image in images]
+        with config.use_fastpath(True):
+            batch = decode_progressive_batch(streams)
+            loop = [codec.decode(stream) for stream in streams]
+        for batched, single in zip(batch, loop):
+            assert np.array_equal(batched.pixels, single.pixels)
+
+    def test_batch_equals_loop_at_scan_prefix(self):
+        images = [make_structured_image(40, seed=s, color_image=True) for s in range(3)]
+        codec = ProgressiveCodec(quality=90)
+        streams = [codec.encode(image) for image in images]
+        for group in (1, 4, 10):
+            with config.use_fastpath(True):
+                batch = codec.decode_batch(streams, max_scans=group)
+                loop = [codec.decode(stream, max_scans=group) for stream in streams]
+            for batched, single in zip(batch, loop):
+                assert np.array_equal(batched.pixels, single.pixels)
+
+    def test_batch_scalar_path_matches_loop(self):
+        """With the fast path off, the batch API is the plain scalar loop."""
+        images = [make_structured_image(25, seed=s, color_image=True) for s in range(2)]
+        codec = ProgressiveCodec(quality=85)
+        streams = [codec.encode(image) for image in images]
+        with config.use_fastpath(False):
+            batch = decode_progressive_batch(streams)
+            loop = [codec.decode(stream) for stream in streams]
+        for batched, single in zip(batch, loop):
+            assert np.array_equal(batched.pixels, single.pixels)
+
+    def test_scratch_reuse_does_not_leak_between_images(self):
+        """Decoding image B after A with one scratch must not change B."""
+        image_a = make_structured_image(48, seed=5, color_image=True)
+        image_b = make_structured_image(48, seed=6, color_image=True)
+        codec = ProgressiveCodec(quality=90)
+        coeff_a, _ = decode_coefficients(codec.encode(image_a))
+        coeff_b, _ = decode_coefficients(codec.encode(image_b))
+        scratch = PixelScratch()
+        decode_to_pixels(coeff_a, scratch)
+        with_reuse = decode_to_pixels(coeff_b, scratch)
+        fresh = decode_to_pixels(coeff_b)
+        assert np.array_equal(with_reuse, fresh)
+
+    def test_empty_batch(self):
+        assert decode_progressive_batch([]) == []
+
+
+class TestImageBufferSatellites:
+    """from_array dtype fast paths and the cached __hash__."""
+
+    def test_from_array_uint8_skips_float_roundtrip(self):
+        array = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        image = ImageBuffer.from_array(array)
+        assert image.pixels.dtype == np.uint8
+        assert np.array_equal(image.pixels, array)
+        # writeable input is copied: caller mutations cannot corrupt the
+        # frozen buffer (or its cached hash) afterwards
+        array[0, 0] = 99
+        assert image.pixels[0, 0] == 0
+
+    def test_from_array_uint8_readonly_is_zero_copy(self):
+        array = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        array.setflags(write=False)
+        image = ImageBuffer.from_array(array)
+        assert image.pixels is array
+
+    def test_from_array_integer_clips(self):
+        array = np.array([[-5, 0], [255, 300]], dtype=np.int32)
+        image = ImageBuffer.from_array(array)
+        assert np.array_equal(image.pixels, [[0, 0], [255, 255]])
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_from_array_float_rounds_and_clips(self, dtype):
+        array = np.array([[-1.2, 0.4], [254.6, 300.0]], dtype=dtype)
+        image = ImageBuffer.from_array(array)
+        assert np.array_equal(image.pixels, [[0, 0], [255, 255]])
+        # round-half-even, matching the old float64 round-trip
+        ties = ImageBuffer.from_array(np.array([[0.5, 1.5, 2.5]], dtype=dtype))
+        assert ties.pixels.tolist() == [[0, 2, 2]]
+
+    def test_hash_is_cached_and_consistent(self):
+        rng = np.random.default_rng(0)
+        pixels = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        image = ImageBuffer(pixels)
+        first = hash(image)
+        assert image.__dict__["_hash"] == first  # cached after first call
+        assert hash(image) == first
+        assert hash(ImageBuffer(pixels.copy())) == first  # equal images, equal hash
+        assert image == ImageBuffer(pixels.copy())
+
+    def test_hash_usable_in_sets(self):
+        image = ImageBuffer(np.zeros((4, 4), dtype=np.uint8))
+        other = ImageBuffer(np.ones((4, 4), dtype=np.uint8))
+        assert len({image, other, ImageBuffer(np.zeros((4, 4), dtype=np.uint8))}) == 2
+
+
+class TestColorSatellite:
+    """Exact BT.601 inverse constants, no defensive copies."""
+
+    def test_inverse_matrix_is_exact(self):
+        product = color._YCBCR_TO_RGB @ color._RGB_TO_YCBCR
+        assert np.allclose(product, np.eye(3), atol=1e-15)
+
+    def test_roundtrip_tight(self):
+        rng = np.random.default_rng(1)
+        rgb = rng.uniform(0, 255, size=(9, 9, 3))
+        back = color.ycbcr_to_rgb(color.rgb_to_ycbcr(rgb))
+        assert np.allclose(back, rgb, atol=1e-10)
+
+    def test_ycbcr_to_rgb_does_not_mutate_input(self):
+        ycc = np.full((4, 4, 3), 128.0)
+        expected = ycc.copy()
+        color.ycbcr_to_rgb(ycc)
+        assert np.array_equal(ycc, expected)
+
+    def test_known_constants(self):
+        matrix = color._YCBCR_TO_RGB
+        assert matrix[0, 2] == pytest.approx(1.402)
+        assert matrix[2, 1] == pytest.approx(1.772)
+        assert matrix[1, 1] == pytest.approx(-0.344136, abs=1e-6)
+        assert matrix[1, 2] == pytest.approx(-0.714136, abs=1e-6)
+
+
+class TestReaderBatchIntegration:
+    """The record reader's batch assembly matches per-sample decoding."""
+
+    def test_assemble_batch_matches_single(self, tmp_path):
+        from repro.core.dataset import PCRDataset
+
+        rng = np.random.default_rng(0)
+        samples = [
+            (f"img{i}", ImageBuffer.from_array(rng.integers(0, 256, size=(24, 24, 3))), i % 3)
+            for i in range(8)
+        ]
+        dataset = PCRDataset.build(samples, tmp_path / "pcr", images_per_record=4)
+        try:
+            codec = ProgressiveCodec(quality=90)
+            for record_name in dataset.record_names:
+                decoded = dataset.read_record(record_name, decode=True)
+                raw = dataset.read_record(record_name, decode=False)
+                for sample, undecoded in zip(decoded, raw):
+                    assert np.array_equal(
+                        sample.image.pixels, codec.decode(undecoded.stream).pixels
+                    )
+        finally:
+            dataset.close()
+
+    def test_assemble_samples_batch_decoded_alignment(self, tmp_path):
+        """Multi-record batch assembly keys each image to its own sample.
+
+        Mixed record sizes (3, 3, 1) exercise the cross-record boundary
+        bookkeeping with decode=True — a mis-slice would pair record A's
+        pixels with record B's metadata.
+        """
+        from repro.core.dataset import PCRDataset
+        from repro.core.reader import assemble_samples, assemble_samples_batch
+
+        rng = np.random.default_rng(4)
+        samples = [
+            (f"img{i}", ImageBuffer.from_array(rng.integers(0, 256, size=(17, 21, 3))), i)
+            for i in range(7)
+        ]
+        dataset = PCRDataset.build(samples, tmp_path / "pcr", images_per_record=3)
+        try:
+            reader = dataset.reader
+            group = dataset.n_groups
+            names = dataset.record_names
+            blobs = [reader.read_record_bytes(name, group) for name in names]
+            codec = ProgressiveCodec(quality=90)
+            batched = assemble_samples_batch(blobs, codec, decode=True)
+            assert [len(record) for record in batched] == [3, 3, 1]
+            for blob, batch_record in zip(blobs, batched):
+                single_record = assemble_samples(blob, codec, decode=True)
+                for batch_sample, single_sample in zip(batch_record, single_record):
+                    assert batch_sample.metadata.key == single_sample.metadata.key
+                    assert batch_sample.stream == single_sample.stream
+                    assert np.array_equal(
+                        batch_sample.image.pixels, single_sample.image.pixels
+                    )
+        finally:
+            dataset.close()
