@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -273,6 +274,7 @@ def run_benchmark(
     n_images: int = DEFAULT_N_IMAGES,
     quality: int = DEFAULT_QUALITY,
     trials: int = DEFAULT_TRIALS,
+    parallel_workers: tuple[int, ...] = (1, 2, 4),
 ) -> dict:
     """Run all codec throughput measurements and return the results dict."""
     generator = SyntheticImageGenerator(
@@ -293,6 +295,9 @@ def run_benchmark(
             "n_scans": len(script),
             "mean_stream_bytes": round(stream_bytes / n_images, 1),
             "trials": trials,
+            # Parallel-decode scaling is bounded by physical cores: a
+            # worker count above cpu_count documents overhead, not speedup.
+            "cpu_count": os.cpu_count(),
         }
     }
 
@@ -478,7 +483,58 @@ def run_benchmark(
         100.0 * pixel_seconds / total_seconds, 1
     )
     results["decode_stages"] = stages
+
+    # Process-parallel decode engine: the same minibatch through a
+    # DecodePool at several worker counts, against the in-process batch
+    # decoder.  Decode is >90% entropy-bound, so on a multi-core machine
+    # MB/s scales with workers until cores (or slab/queue overhead at these
+    # small batches) saturate; on a single-core machine the rows document
+    # the engine's overhead instead (see `workload.cpu_count`).
+    if parallel_workers:
+        results["decode_parallel"] = _parallel_section(
+            streams, stream_bytes, trials, parallel_workers, timings["fast_batch"]
+        )
     return results
+
+
+def _parallel_section(
+    streams: list[bytes],
+    stream_bytes: int,
+    trials: int,
+    worker_counts: tuple[int, ...],
+    inprocess_seconds: float,
+) -> dict:
+    """`decode_parallel` rows: DecodePool MB/s and scaling vs in-process."""
+    import numpy as np
+
+    from repro.codecs.parallel import DecodePool
+    from repro.codecs.progressive import decode_progressive_batch
+
+    section: dict = {
+        "inprocess_batch_mb_per_s": round(stream_bytes / _MB / inprocess_seconds, 3),
+        "batch_streams": len(streams),
+        "workers": {},
+    }
+    reference = decode_progressive_batch(streams)
+    for n_workers in worker_counts:
+        with DecodePool(n_workers) as pool:
+            decoded = pool.decode_batch(streams)  # warm workers + slab
+            for ref, out in zip(reference, decoded):
+                assert np.array_equal(ref.pixels, out.pixels), "parallel decode diverged"
+            del decoded
+            best = float("inf")
+            for _ in range(trials):
+                start = time.perf_counter()
+                out = pool.decode_batch(streams)
+                best = min(best, time.perf_counter() - start)
+                del out  # let the slab return to the pool between trials
+            section["workers"][str(n_workers)] = {
+                "mb_per_s": round(stream_bytes / _MB / best, 3),
+                "speedup_vs_inprocess_batch": round(inprocess_seconds / best, 2),
+                "byte_identical": True,
+                "fallback_batches": pool.stats.fallback_batches,
+            }
+    return section
 
 
 def print_report(results: dict) -> None:
@@ -533,6 +589,19 @@ def print_report(results: dict) -> None:
             f"  group 1..{group:>2s}  fast {row['fast_mb_per_s']:8.2f} MB/s   "
             f"scalar {row['scalar_mb_per_s']:7.2f} MB/s   {row['speedup_vs_scalar']:5.2f}x"
         )
+    if "decode_parallel" in results:
+        section = results["decode_parallel"]
+        print("-" * 74)
+        print(
+            f"process-parallel decode ({section['batch_streams']} streams/batch, "
+            f"{workload.get('cpu_count', '?')} cpu(s); "
+            f"in-process batch {section['inprocess_batch_mb_per_s']:.2f} MB/s):"
+        )
+        for n_workers, row in section["workers"].items():
+            print(
+                f"  {n_workers:>2s} worker(s)  {row['mb_per_s']:8.2f} MB/s   "
+                f"{row['speedup_vs_inprocess_batch']:5.2f}x vs in-process"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -545,11 +614,18 @@ def main(argv: list[str] | None = None) -> int:
         help="best-of-N trials per measurement (higher = less timer noise)",
     )
     parser.add_argument(
+        "--parallel-smoke",
+        action="store_true",
+        help="only verify + time 2-worker DecodePool parity (fast CI check)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_codec.json"),
         help="where to write the JSON results",
     )
     args = parser.parse_args(argv)
+    if args.parallel_smoke:
+        return parallel_smoke(trials=max(1, args.trials if args.trials != DEFAULT_TRIALS else 2))
     if args.quick:
         quick_trials = args.trials if args.trials != DEFAULT_TRIALS else 2
         results = run_benchmark(image_size=64, n_images=2, trials=quick_trials)
@@ -561,9 +637,45 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def parallel_smoke(trials: int = 2) -> int:
+    """Quick 2-worker DecodePool check: byte-identical, timed, no JSON.
+
+    This is the CI step guarding the parallel engine: it fails loudly if a
+    pool diverges from in-process decode or cannot decode at all, without
+    asserting speedups that depend on the runner's core count.  The
+    verify+time protocol is `_parallel_section` itself, so the smoke gate
+    and the recorded `decode_parallel` rows cannot drift apart.
+    """
+    from repro.codecs.progressive import decode_progressive_batch
+
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=64), seed=1
+    )
+    images = [generator.generate(i % 4, sample_seed=i) for i in range(4)]
+    planes = [image_to_coefficients(image, DEFAULT_QUALITY) for image in images]
+    script = ScanScript.default_for(3)
+    streams = [encode_coefficients(p, script) for p in planes] * 4
+    stream_bytes = sum(len(s) for s in streams)
+    decode_progressive_batch(streams)  # warm caches outside the timed region
+    inprocess_seconds = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        decode_progressive_batch(streams)
+        inprocess_seconds = min(inprocess_seconds, time.perf_counter() - start)
+    section = _parallel_section(streams, stream_bytes, trials, (2,), inprocess_seconds)
+    row = section["workers"]["2"]
+    assert row["byte_identical"]
+    assert row["fallback_batches"] == 0, "pool fell back in-process"
+    print(
+        f"parallel-smoke ok: {len(streams)} streams byte-identical at 2 workers, "
+        f"{row['mb_per_s']:.2f} MB/s ({os.cpu_count()} cpu(s))"
+    )
+    return 0
+
+
 def test_codec_throughput_smoke():
     """Tier-2 smoke: the fast paths must beat the scalar references everywhere."""
-    results = run_benchmark(image_size=96, n_images=2, trials=3)
+    results = run_benchmark(image_size=96, n_images=2, trials=3, parallel_workers=(2,))
     assert results["entropy_decode_full"]["speedup_vs_scalar"] > 1.5
     assert results["entropy_encode"]["speedup_vs_scalar"] > 1.5
     assert results["pipeline_decode"]["speedup_vs_scalar"] > 1.2
@@ -572,7 +684,15 @@ def test_codec_throughput_smoke():
     # decoding (they are measured interleaved; allow timer noise).
     assert results["decode_stages"]["pixel_decode"]["speedup_vs_scalar"] > 2.0
     assert results["pipeline_decode_batch"]["speedup_vs_per_image_loop"] > 0.8
+    # Parallel decode is byte-identical (asserted inside the section); its
+    # speedup depends on the runner's core count, so only identity is pinned.
+    assert results["decode_parallel"]["workers"]["2"]["byte_identical"]
     print_report(results)
+
+
+def test_parallel_decode_smoke():
+    """Tier-2 smoke: 2-worker DecodePool parity on a small workload."""
+    assert parallel_smoke(trials=1) == 0
 
 
 if __name__ == "__main__":

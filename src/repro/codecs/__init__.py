@@ -21,6 +21,11 @@ equivalent, self-contained codec:
   colour conversion, scratch-buffer reuse for minibatch decodes), gated by
   the same toggle.  ``decode_progressive_batch`` /
   ``ProgressiveCodec.decode_batch`` are the minibatch-level decode API.
+* :mod:`repro.codecs.parallel` — the process-parallel decode engine
+  (:class:`DecodePool`): persistent pre-warmed worker processes, a chunked
+  work-stealing task queue, and shared-memory frame slabs returning decoded
+  batches zero-copy.  Wired through the reader, ``DataLoader``
+  (``decode_workers``), and both remote record sources.
 * :mod:`repro.codecs.baseline` — sequential, single-scan encoding.
 * :mod:`repro.codecs.progressive` — spectral-selection progressive encoding
   (default 10 scans), partially decodable.
@@ -32,6 +37,7 @@ from repro.codecs import config as _config
 from repro.codecs.baseline import BaselineCodec
 from repro.codecs.config import fastpath_enabled, set_fastpath, use_fastpath
 from repro.codecs.image import ImageBuffer
+from repro.codecs.parallel import DecodePool, DecodePoolStats
 from repro.codecs.progressive import (
     ProgressiveCodec,
     ScanScript,
@@ -46,6 +52,8 @@ from repro.codecs.transcode import transcode_to_progressive
 # access, served live by __getattr__) or call fastpath_enabled() instead.
 __all__ = [
     "BaselineCodec",
+    "DecodePool",
+    "DecodePoolStats",
     "ImageBuffer",
     "ProgressiveCodec",
     "QuantizationTables",

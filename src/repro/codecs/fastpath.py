@@ -90,14 +90,15 @@ _MASKS = tuple((1 << n) - 1 for n in range(1024))
 #: field, indexed by category (0 unused).
 _HALVES = (0,) + tuple(1 << (n - 1) for n in range(1, 1024))
 
-#: Bytes of 1-padding appended to a scan payload before decoding.  The
-#: refill sites assume every ``padded[pos:pos+8]`` slice is full-width; on a
-#: valid stream the reader never runs more than ~50 bytes past the true
-#: payload (32-bit guard + one oversized-DC refill), so 64 pad bytes make
-#: that assumption safe without per-refill bounds checks.  The 1-bits match
-#: the writer's end-of-stream padding.  A corrupt stream that decodes into
-#: the padding is caught by the consumed-bits check after the scan (the
-#: block loops themselves are bounded, so garbage cannot loop forever).
+#: Bytes of 1-padding appended to a scan payload before it is carved into
+#: 64-bit refill words.  On a valid stream the reader never consumes more
+#: than ~5 words past the true payload (32-bit guard + one oversized-DC
+#: refill), so 64 pad bytes (>= 7 whole words after truncation) make every
+#: in-range refill a plain list index without per-refill bounds checks.
+#: The 1-bits match the writer's end-of-stream padding.  A corrupt stream
+#: that decodes into the padding is caught by the consumed-bits check after
+#: the scan, or -- if garbage outruns the padding entirely -- by the refill
+#: IndexError guard, both surfacing as ``EOFError``.
 _PAD = b"\xff" * 64
 
 
@@ -105,8 +106,10 @@ def decode_scan_body_fast(data: bytes, segment, coefficients) -> None:
     """Decode one scan segment into ``coefficients`` (in place).
 
     The per-symbol loop stays in Python (a bit stream is sequential), but
-    every other cost is folded away: the bit buffer lives in local integers
-    refilled 8 bytes at a time via ``int.from_bytes``; each symbol costs one
+    every other cost is folded away: the whole payload is pre-split into
+    big-endian 64-bit refill words by one ``np.frombuffer`` pass, so the bit
+    buffer lives in local integers refilled by a single list index (no bytes
+    slice, no ``int.from_bytes`` call on the hot path); each symbol costs one
     two-level probe of a *fused* LUT whose entry packs the zero-run, the
     magnitude category, and the combined bit consumption of code plus
     magnitude (EOB is a run of 64, so it terminates the block loop through
@@ -136,6 +139,7 @@ def decode_scan_body_fast(data: bytes, segment, coefficients) -> None:
     payload = data[segment.payload_start + consumed : segment.end]
     n_payload_bits = len(payload) * 8
     padded = payload + _PAD
+    words = np.frombuffer(padded, dtype=">u8", count=len(padded) >> 3).tolist()
     tables = table.scan_tables()
     ac1 = tables.ac_primary
     ac2 = tables.ac_secondary
@@ -143,11 +147,10 @@ def decode_scan_body_fast(data: bytes, segment, coefficients) -> None:
     dc2 = tables.dc_secondary
     masks = _MASKS
     halves = _HALVES
-    from_bytes = int.from_bytes
     # Inlined word-buffered reader state: `bitbuf` holds `bitcnt` valid low
     # bits (possibly with consumed garbage above them — every extraction
-    # masks), `pos` is the next byte to load.
-    pos = 0
+    # masks), `word_index` is the next refill word.
+    word_index = 0
     bitbuf = 0
     bitcnt = 0
     spectral_start = scan.spectral_start
@@ -156,145 +159,133 @@ def decode_scan_body_fast(data: bytes, segment, coefficients) -> None:
     decode_ac = spectral_end > 0
     band_start = 1 if decode_dc else spectral_start
     band_length = spectral_end - band_start + 1
-    for component in scan.component_ids:
-        plane = coefficients.planes[component]
-        n_blocks = plane.shape[0]
-        dc_diffs: list[int] = []
-        positions: list[int] = []
-        values: list[int] = []
-        append_diff = dc_diffs.append
-        append_position = positions.append
-        append_value = values.append
-        # `block_base` walks the flat (row-major) offset of each block's
-        # first in-band coefficient, so scatter positions are single adds.
-        if not decode_ac:  # DC-only scan
-            for _ in range(n_blocks):
-                if bitcnt < 32:
-                    bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
-                        padded[pos : pos + 8], "big"
-                    )
-                    pos += 8
-                    bitcnt += 64
-                entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
-                if entry <= 0:
-                    if entry == 0:
-                        raise ValueError("invalid Huffman code in bit stream")
-                    entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
-                    if entry == 0:
-                        raise ValueError("invalid Huffman code in bit stream")
-                consume = entry & 0xFFF
-                while consume > bitcnt:  # oversized DC magnitude (rare)
-                    chunk = padded[pos : pos + 8]
-                    if not chunk:
-                        raise EOFError("bit stream exhausted")
-                    pos += len(chunk)
-                    bitbuf = ((bitbuf & masks[bitcnt]) << (len(chunk) << 3)) | from_bytes(
-                        chunk, "big"
-                    )
-                    bitcnt += len(chunk) << 3
-                bitcnt -= consume
-                category = entry >> 12
-                if category:
-                    mask = masks[category]
-                    bits = (bitbuf >> bitcnt) & mask
-                    append_diff(bits if bits >= halves[category] else bits - mask)
-                else:
-                    append_diff(0)
-        elif not decode_dc:  # AC-only scan (the common progressive shape)
-            for block_base in range(band_start, band_start + (n_blocks << 6), 64):
-                index = 0
-                while index < band_length:
+    # Garbage that outruns the payload *and* the padding words must
+    # surface as the documented EOFError, not as the refill list's
+    # IndexError.
+    try:
+        for component in scan.component_ids:
+            plane = coefficients.planes[component]
+            n_blocks = plane.shape[0]
+            dc_diffs: list[int] = []
+            positions: list[int] = []
+            values: list[int] = []
+            append_diff = dc_diffs.append
+            append_position = positions.append
+            append_value = values.append
+            # `block_base` walks the flat (row-major) offset of each block's
+            # first in-band coefficient, so scatter positions are single adds.
+            if not decode_ac:  # DC-only scan
+                for _ in range(n_blocks):
                     if bitcnt < 32:
-                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
-                            padded[pos : pos + 8], "big"
-                        )
-                        pos += 8
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                        word_index += 1
                         bitcnt += 64
-                    entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                    entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
                     if entry <= 0:
                         if entry == 0:
                             raise ValueError("invalid Huffman code in bit stream")
-                        entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                        entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
                         if entry == 0:
                             raise ValueError("invalid Huffman code in bit stream")
-                    bitcnt -= entry & 0x3F
-                    index += entry >> 12
-                    category = (entry >> 6) & 0x3F
+                    consume = entry & 0xFFF
+                    while consume > bitcnt:  # oversized DC magnitude (rare)
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                        word_index += 1
+                        bitcnt += 64
+                    bitcnt -= consume
+                    category = entry >> 12
                     if category:
                         mask = masks[category]
                         bits = (bitbuf >> bitcnt) & mask
-                        if index >= band_length:
-                            raise ValueError("AC run overflows band length")
-                        append_position(block_base + index)
-                        append_value(bits if bits >= halves[category] else bits - mask)
-                        index += 1
-        else:  # mixed scan: DC delta then the AC band, per block
-            for block_base in range(band_start, band_start + (n_blocks << 6), 64):
-                if bitcnt < 32:
-                    bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
-                        padded[pos : pos + 8], "big"
-                    )
-                    pos += 8
-                    bitcnt += 64
-                entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
-                if entry <= 0:
-                    if entry == 0:
-                        raise ValueError("invalid Huffman code in bit stream")
-                    entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
-                    if entry == 0:
-                        raise ValueError("invalid Huffman code in bit stream")
-                consume = entry & 0xFFF
-                while consume > bitcnt:
-                    chunk = padded[pos : pos + 8]
-                    if not chunk:
-                        raise EOFError("bit stream exhausted")
-                    pos += len(chunk)
-                    bitbuf = ((bitbuf & masks[bitcnt]) << (len(chunk) << 3)) | from_bytes(
-                        chunk, "big"
-                    )
-                    bitcnt += len(chunk) << 3
-                bitcnt -= consume
-                category = entry >> 12
-                if category:
-                    mask = masks[category]
-                    bits = (bitbuf >> bitcnt) & mask
-                    append_diff(bits if bits >= halves[category] else bits - mask)
-                else:
-                    append_diff(0)
-                index = 0
-                while index < band_length:
+                        append_diff(bits if bits >= halves[category] else bits - mask)
+                    else:
+                        append_diff(0)
+            elif not decode_dc:  # AC-only scan (the common progressive shape)
+                for block_base in range(band_start, band_start + (n_blocks << 6), 64):
+                    index = 0
+                    while index < band_length:
+                        if bitcnt < 32:
+                            bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                            word_index += 1
+                            bitcnt += 64
+                        entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                        if entry <= 0:
+                            if entry == 0:
+                                raise ValueError("invalid Huffman code in bit stream")
+                            entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                            if entry == 0:
+                                raise ValueError("invalid Huffman code in bit stream")
+                        bitcnt -= entry & 0x3F
+                        index += entry >> 12
+                        category = (entry >> 6) & 0x3F
+                        if category:
+                            mask = masks[category]
+                            bits = (bitbuf >> bitcnt) & mask
+                            if index >= band_length:
+                                raise ValueError("AC run overflows band length")
+                            append_position(block_base + index)
+                            append_value(bits if bits >= halves[category] else bits - mask)
+                            index += 1
+            else:  # mixed scan: DC delta then the AC band, per block
+                for block_base in range(band_start, band_start + (n_blocks << 6), 64):
                     if bitcnt < 32:
-                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | from_bytes(
-                            padded[pos : pos + 8], "big"
-                        )
-                        pos += 8
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                        word_index += 1
                         bitcnt += 64
-                    entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                    entry = dc1[(bitbuf >> (bitcnt - 8)) & 0xFF]
                     if entry <= 0:
                         if entry == 0:
                             raise ValueError("invalid Huffman code in bit stream")
-                        entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                        entry = dc2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
                         if entry == 0:
                             raise ValueError("invalid Huffman code in bit stream")
-                    bitcnt -= entry & 0x3F
-                    index += entry >> 12
-                    category = (entry >> 6) & 0x3F
+                    consume = entry & 0xFFF
+                    while consume > bitcnt:
+                        bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                        word_index += 1
+                        bitcnt += 64
+                    bitcnt -= consume
+                    category = entry >> 12
                     if category:
                         mask = masks[category]
                         bits = (bitbuf >> bitcnt) & mask
-                        if index >= band_length:
-                            raise ValueError("AC run overflows band length")
-                        append_position(block_base + index)
-                        append_value(bits if bits >= halves[category] else bits - mask)
-                        index += 1
-        if decode_dc:
-            plane[:, 0] = np.cumsum(np.asarray(dc_diffs, dtype=np.int64))
-        if positions:
-            position_array = np.asarray(positions, dtype=np.intp)
-            value_array = np.asarray(values, dtype=np.int64)
-            if plane.flags.c_contiguous:
-                plane.reshape(-1)[position_array] = value_array
-            else:
-                plane[position_array >> 6, position_array & 63] = value_array
-    if pos * 8 - bitcnt > n_payload_bits:
+                        append_diff(bits if bits >= halves[category] else bits - mask)
+                    else:
+                        append_diff(0)
+                    index = 0
+                    while index < band_length:
+                        if bitcnt < 32:
+                            bitbuf = ((bitbuf & masks[bitcnt]) << 64) | words[word_index]
+                            word_index += 1
+                            bitcnt += 64
+                        entry = ac1[(bitbuf >> (bitcnt - 8)) & 0xFF]
+                        if entry <= 0:
+                            if entry == 0:
+                                raise ValueError("invalid Huffman code in bit stream")
+                            entry = ac2[-entry - 1][(bitbuf >> (bitcnt - 16)) & 0xFF]
+                            if entry == 0:
+                                raise ValueError("invalid Huffman code in bit stream")
+                        bitcnt -= entry & 0x3F
+                        index += entry >> 12
+                        category = (entry >> 6) & 0x3F
+                        if category:
+                            mask = masks[category]
+                            bits = (bitbuf >> bitcnt) & mask
+                            if index >= band_length:
+                                raise ValueError("AC run overflows band length")
+                            append_position(block_base + index)
+                            append_value(bits if bits >= halves[category] else bits - mask)
+                            index += 1
+            if decode_dc:
+                plane[:, 0] = np.cumsum(np.asarray(dc_diffs, dtype=np.int64))
+            if positions:
+                position_array = np.asarray(positions, dtype=np.intp)
+                value_array = np.asarray(values, dtype=np.int64)
+                if plane.flags.c_contiguous:
+                    plane.reshape(-1)[position_array] = value_array
+                else:
+                    plane[position_array >> 6, position_array & 63] = value_array
+    except IndexError:
+        raise EOFError("bit stream exhausted") from None
+    if (word_index << 6) - bitcnt > n_payload_bits:
         raise EOFError("bit stream exhausted")

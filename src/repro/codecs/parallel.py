@@ -1,0 +1,672 @@
+"""Process-parallel minibatch decoding through shared-memory frame slabs.
+
+The fast decode path is >90% entropy-bound (see ``BENCH_codec.json``), and
+the sequential per-symbol Huffman loop cannot be vectorized inside one
+Python interpreter.  :class:`DecodePool` beats that wall with *software*
+parallelism instead: a persistent fleet of worker processes decodes the
+streams of a minibatch concurrently, one core per worker, and hands the
+pixels back through preallocated ``multiprocessing.shared_memory`` frame
+slabs so no pixel data is ever pickled.
+
+Architecture
+------------
+
+* **Long-lived workers.**  ``n_workers`` processes are started once (fork
+  where available, spawn otherwise), pre-warm the Huffman-LUT / scaled-basis
+  caches by decoding a tiny self-encoded image, and then loop on a shared
+  task queue until the pool closes.  Worker startup cost is paid once per
+  pool, not per batch.
+* **Chunked task queue (work stealing).**  A batch is split into several
+  chunks per worker, balanced by compressed-stream bytes, and all chunks go
+  onto one shared queue.  Workers pull the next chunk whenever they finish
+  one, so uneven stream sizes self-balance instead of serializing on the
+  slowest pre-assigned partition.
+* **Shared-memory frame slabs.**  The parent parses each stream's frame
+  header, lays every decoded frame out at a fixed offset inside one slab,
+  and sends workers only ``(stream bytes, offset, shape)`` metadata.
+  Workers decode with the ordinary in-process fast path
+  (:func:`~repro.codecs.progressive.decode_progressive_batch`) and write
+  the uint8 pixels straight into the slab.  The parent wraps the filled
+  regions as zero-copy numpy views; slabs are pooled and reused across
+  batches, and a slab returns to the pool only when every view onto it has
+  been garbage collected (a :class:`_SlabLease` finalizer tracks that), so
+  a consumer can hold decoded frames as long as it likes.
+* **Transparent fallback.**  ``n_workers <= 1``, a closed pool, a worker
+  crash, or a worker-side decode error all degrade to the in-process batch
+  decoder.  After a crash the whole fleet is restarted with fresh queues
+  (a killed process can die holding a queue lock, so the old plumbing is
+  never trusted again), and the unfinished part of the batch is decoded
+  in-process — the caller sees identical results either way.
+
+Decoded output is *byte-identical* to in-process fast-path decoding:
+workers run exactly the same code on exactly the same bytes, and the batch
+layout never mixes pixels across images.  ``tests/test_codecs_parallel.py``
+pins this across scan groups, worker counts, and mid-batch worker kills.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from queue import Empty
+
+import numpy as np
+
+from repro.codecs import config as codec_config
+from repro.codecs.markers import parse_frame_header
+from repro.codecs.image import ImageBuffer
+
+__all__ = ["DecodePool", "DecodePoolStats"]
+
+#: Chunks created per worker and batch: enough granularity that a worker
+#: finishing early steals meaningful work, few enough that queue overhead
+#: stays negligible.
+CHUNKS_PER_WORKER = 4
+
+#: Smallest slab allocated (new slabs round up to this), so a stream of tiny
+#: batches reuses one slab instead of allocating per-batch.
+MIN_SLAB_BYTES = 1 << 20
+
+#: How often the parent re-checks worker liveness while waiting on results.
+_POLL_SECONDS = 0.05
+
+_SENTINEL = None
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _frame_geometry(payload: bytes) -> tuple[tuple[int, ...], int]:
+    """Decoded shape and byte size of a stream, from its frame header only."""
+    header, _ = parse_frame_header(payload)
+    if header.n_components == 1:
+        shape: tuple[int, ...] = (header.height, header.width)
+    else:
+        shape = (header.height, header.width, 3)
+    nbytes = int(np.prod(shape))
+    return shape, nbytes
+
+
+def _chunk_by_bytes(sizes: list[int], n_chunks: int) -> list[list[int]]:
+    """Split stream indices into <= ``n_chunks`` contiguous, byte-balanced runs."""
+    n_chunks = max(1, min(n_chunks, len(sizes)))
+    total = sum(sizes)
+    target = total / n_chunks
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    accumulated = 0
+    for index, size in enumerate(sizes):
+        current.append(index)
+        accumulated += size
+        remaining_items = len(sizes) - index - 1
+        remaining_chunks = n_chunks - len(chunks) - 1
+        if (accumulated >= target * (len(chunks) + 1) and remaining_chunks > 0) or (
+            remaining_items == remaining_chunks and remaining_chunks > 0 and current
+        ):
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+
+def _prewarm(quality: int) -> None:
+    """Heat the fastpath caches (Huffman LUT build path, scaled bases)."""
+    from repro.codecs.progressive import ProgressiveCodec, decode_progressive_batch
+
+    ramp = (np.arange(16 * 16 * 3, dtype=np.int64) * 7 % 256).astype(np.uint8)
+    image = ImageBuffer(ramp.reshape(16, 16, 3))
+    codec = ProgressiveCodec(quality=quality)
+    decode_progressive_batch([codec.encode(image)])
+
+
+def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:
+    """Long-lived worker loop: pull a chunk, decode it, write into the slab.
+
+    Workers always decode with the fast path enabled — the pool's contract
+    is byte-identity with in-process *fast-path* decode — and ignore SIGINT
+    so a Ctrl-C in the parent tears the fleet down through the pool's
+    shutdown protocol (sentinels, then terminate) rather than corrupting a
+    queue mid-put.
+    """
+    from repro.codecs.progressive import decode_progressive_batch
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    codec_config.set_fastpath(True)
+    if warmup_quality is not None:
+        try:
+            _prewarm(warmup_quality)
+        except Exception:  # warmup is best-effort; first real batch warms too
+            pass
+    # Slab attachments are cached (slabs are pooled and recur), but bounded:
+    # the parent retires slabs over a long run and an unlinked segment's
+    # memory stays resident while any mapping exists, so an unbounded cache
+    # would grow worker RSS without limit.  Evicting a slab the parent still
+    # pools is safe — the next task naming it simply re-attaches.
+    max_attached = 8
+    attached: dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is _SENTINEL:
+                break
+            batch_id, chunk_id, slab_name, max_scans, jobs = task
+            try:
+                shm = attached.pop(slab_name, None)
+                if shm is None:
+                    shm = shared_memory.SharedMemory(name=slab_name)
+                attached[slab_name] = shm  # (re)insert as most recently used
+                while len(attached) > max_attached:
+                    oldest = next(iter(attached))
+                    try:
+                        attached.pop(oldest).close()
+                    except Exception:
+                        pass
+                images = decode_progressive_batch(
+                    [payload for payload, _, _, _ in jobs], max_scans=max_scans
+                )
+                for image, (_, offset, nbytes, shape) in zip(images, jobs):
+                    pixels = image.pixels
+                    if pixels.shape != tuple(shape) or pixels.nbytes != nbytes:
+                        raise ValueError(
+                            f"decoded frame is {pixels.shape}, slab region expects {shape}"
+                        )
+                    region = np.frombuffer(
+                        shm.buf, dtype=np.uint8, count=nbytes, offset=offset
+                    )
+                    region[:] = pixels.reshape(-1)
+                    del region
+                result_queue.put((batch_id, chunk_id, None))
+            except Exception:
+                result_queue.put((batch_id, chunk_id, traceback.format_exc()))
+    except (KeyboardInterrupt, EOFError, OSError):
+        pass  # parent is gone or tearing down; exit quietly
+    finally:
+        for shm in attached.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# --------------------------------------------------------------------------
+# Slab lifecycle
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Slab:
+    """One shared-memory segment frames are decoded into."""
+
+    shm: shared_memory.SharedMemory
+    capacity: int
+
+
+class _SlabLease:
+    """Keeps a slab checked out while any frame view onto it is alive.
+
+    Every :class:`_SlabView` returned from a batch holds a strong reference
+    to its lease; a ``weakref.finalize`` on the lease returns the slab to
+    the pool's free list (or unlinks it, once the pool is closed) exactly
+    when the last view dies.
+    """
+
+    __slots__ = ("__weakref__",)
+
+
+class _SlabView(np.ndarray):
+    """A decoded uint8 frame viewing shared slab memory (zero-copy).
+
+    Slices inherit the lease through their ``base`` chain, so arbitrary
+    downstream numpy code keeps the slab alive for as long as it can see
+    the pixels.
+    """
+
+
+def _slab_view(slab: _Slab, offset: int, shape: tuple[int, ...], lease) -> np.ndarray:
+    view = np.ndarray.__new__(
+        _SlabView, shape, dtype=np.uint8, buffer=slab.shm.buf, offset=offset
+    )
+    view._slab_lease = lease
+    view.flags.writeable = False
+    return view
+
+
+def _destroy_slab(slab: _Slab) -> None:
+    try:
+        slab.shm.close()
+    except BufferError:
+        # A view still references the mapping; its lease finalizer will come
+        # back through here once the view dies.
+        return
+    except OSError:
+        pass
+    try:
+        slab.shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+
+
+def _release_slab(state: "_PoolState", slab: _Slab) -> None:
+    """Return a slab to the free list, or retire it if the pool is done."""
+    with state.lock:
+        if not state.closed and len(state.free_slabs) < state.max_free_slabs:
+            state.free_slabs.append(slab)
+            return
+    _destroy_slab(slab)
+
+
+# --------------------------------------------------------------------------
+# Pool state (detached from the user-facing object so a GC'd pool can still
+# be shut down by its finalizer)
+# --------------------------------------------------------------------------
+
+
+class _PoolState:
+    def __init__(self, ctx, n_workers: int, warmup_quality: int | None, max_free_slabs: int):
+        self.ctx = ctx
+        self.n_workers = n_workers
+        self.warmup_quality = warmup_quality
+        self.max_free_slabs = max_free_slabs
+        self.lock = threading.RLock()
+        self.closed = False
+        self.respawn = True  # tests flip this to pin the fallback path
+        self.workers: list = []
+        self.tasks = None
+        self.results = None
+        self.free_slabs: list[_Slab] = []
+        self.batch_counter = 0
+        self.slab_counter = 0
+        self.stats = DecodePoolStats()
+
+    # -- workers ----------------------------------------------------------
+
+    def ensure_workers(self) -> None:
+        # A worker that died *between* batches (OOM killer, external SIGKILL)
+        # may have been blocked in task_queue.get() holding the queue's
+        # shared read lock — forking replacements onto the same queues would
+        # deadlock the whole fleet with every process "alive".  Any death
+        # therefore discards the old plumbing wholesale, same as a mid-batch
+        # crash.
+        if any(not worker.is_alive() for worker in self.workers):
+            self.restart_fleet()
+        if self.tasks is None:
+            self.tasks = self.ctx.Queue()
+            self.results = self.ctx.Queue()
+        if not self.respawn and self.workers:
+            return
+        while self.respawn and len(self.workers) < self.n_workers:
+            worker = self.ctx.Process(
+                target=_decode_worker_main,
+                args=(self.tasks, self.results, self.warmup_quality),
+                daemon=True,
+                name=f"pcr-decode-{len(self.workers)}",
+            )
+            worker.start()
+            self.workers.append(worker)
+            self.stats.workers_started += 1
+
+    def restart_fleet(self) -> None:
+        """Kill every worker and discard the queues (crash recovery).
+
+        A process that died mid-``put``/``get`` can leave a queue lock held
+        forever, so after any failure the old queues are abandoned wholesale
+        and the next batch starts from fresh plumbing.
+        """
+        workers, self.workers = self.workers, []
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=1.0)
+        self._discard_queues()
+        self.stats.fleet_restarts += 1
+
+    def _discard_queues(self) -> None:
+        for q in (self.tasks, self.results):
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
+                pass
+        self.tasks = None
+        self.results = None
+
+    # -- slabs ------------------------------------------------------------
+
+    def acquire_slab(self, nbytes: int) -> _Slab:
+        with self.lock:
+            best_index = -1
+            for index, slab in enumerate(self.free_slabs):
+                if slab.capacity >= nbytes and (
+                    best_index < 0 or slab.capacity < self.free_slabs[best_index].capacity
+                ):
+                    best_index = index
+            if best_index >= 0:
+                return self.free_slabs.pop(best_index)
+            self.slab_counter += 1
+            counter = self.slab_counter
+        capacity = max(nbytes, MIN_SLAB_BYTES)
+        while True:
+            name = f"pcrslab_{os.getpid()}_{counter}_{os.urandom(3).hex()}"
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+                break
+            except FileExistsError:
+                continue
+        self.stats.slabs_created += 1
+        return _Slab(shm=shm, capacity=capacity)
+
+    # -- shutdown ---------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        with self.lock:
+            if self.closed:
+                return
+            self.closed = True
+            workers, self.workers = self.workers, []
+            tasks = self.tasks
+            slabs, self.free_slabs = list(self.free_slabs), []
+        if tasks is not None:
+            for _ in workers:
+                try:
+                    tasks.put(_SENTINEL)
+                except Exception:
+                    break
+        for worker in workers:
+            worker.join(timeout=timeout)
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=1.0)
+        self._discard_queues()
+        for slab in slabs:
+            _destroy_slab(slab)
+
+
+# --------------------------------------------------------------------------
+# Public API
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DecodePoolStats:
+    """Counters a pool accumulates over its lifetime."""
+
+    batches: int = 0
+    parallel_batches: int = 0
+    fallback_batches: int = 0
+    streams_decoded: int = 0
+    bytes_decoded: int = 0
+    fleet_restarts: int = 0
+    workers_started: int = 0
+    slabs_created: int = 0
+    last_worker_error: str = field(default="", repr=False)
+
+
+class DecodePool:
+    """A persistent process pool that decodes minibatches of PCR streams.
+
+    ``decode_batch`` is a drop-in replacement for
+    :meth:`repro.codecs.progressive.ProgressiveCodec.decode_batch`: it takes
+    the same list of stream bytes and returns the same list of
+    :class:`~repro.codecs.image.ImageBuffer`, byte-identical to in-process
+    fast-path decoding — except the entropy loops of the batch run on
+    ``n_workers`` cores concurrently and the pixels come back through
+    shared memory.
+
+    With ``n_workers <= 1`` the pool is a thin wrapper over the in-process
+    batch decoder (no processes, no shared memory), so callers can wire a
+    pool unconditionally and control parallelism with one integer.
+
+    One batch is in flight at a time (concurrent callers serialize on an
+    internal lock): the pool parallelizes *within* a batch, which is where
+    the minibatch-shaped work lives.  Use it as a context manager or call
+    :meth:`close`; an abandoned pool is also shut down by a GC finalizer so
+    no worker processes or shared-memory segments outlive the interpreter.
+
+    The initial fleet forks at construction time (create the pool before
+    starting reader threads, as ``DataLoader`` does).  Respawning after a
+    crash may fork from an already-threaded parent; a replacement child
+    that wedges on a lock inherited at fork time is caught by the
+    ``stall_timeout`` watchdog and the batch finishes in-process.  Pass
+    ``start_method="spawn"`` for fully fork-free workers in heavily
+    threaded embedders (slower startup, same results).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        start_method: str | None = None,
+        warmup_quality: int | None = 90,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+        max_free_slabs: int = 4,
+        stall_timeout: float = 30.0,
+    ) -> None:
+        self.n_workers = int(n_workers)
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        #: Seconds without any chunk completing (workers alive) before a
+        #: batch is declared stalled and finished in-process.  At fast-path
+        #: decode rates the default corresponds to tens of MB of compressed
+        #: data per chunk — far beyond any realistic record.
+        self.stall_timeout = float(stall_timeout)
+        self._closed_inprocess = False
+        self._inprocess_lock = threading.Lock()
+        if self.n_workers <= 1:
+            self._state: _PoolState | None = None
+            self._stats = DecodePoolStats()
+            self._finalizer = None
+            return
+        ctx = multiprocessing.get_context(start_method or _default_start_method())
+        # Start the shared-memory resource tracker *before* forking workers:
+        # children then inherit the parent's tracker instead of each lazily
+        # spawning their own (a per-worker tracker would try to "clean up"
+        # the parent's live slabs when its worker exits).  Registrations are
+        # set-deduplicated in the tracker, so worker-side attach registers
+        # collapse into the parent's single register/unlink pair.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        state = _PoolState(ctx, self.n_workers, warmup_quality, max_free_slabs)
+        self._state = state
+        self._stats = state.stats
+        with state.lock:
+            state.ensure_workers()
+        self._finalizer = weakref.finalize(self, _PoolState.shutdown, state)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def stats(self) -> DecodePoolStats:
+        return self._stats
+
+    @property
+    def closed(self) -> bool:
+        if self._state is not None:
+            return self._state.closed
+        return self._closed_inprocess
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode_batch(self, payloads, max_scans: int | None = None) -> list[ImageBuffer]:
+        """Decode a minibatch of streams; byte-identical to in-process decode."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        state = self._state
+        if state is None:
+            return self._decode_inprocess(payloads, max_scans)
+        with state.lock:
+            if state.closed:
+                return self._decode_inprocess(payloads, max_scans)
+            return self._decode_parallel(state, payloads, max_scans)
+
+    def _decode_inprocess(self, payloads: list[bytes], max_scans) -> list[ImageBuffer]:
+        from repro.codecs.progressive import decode_progressive_batch
+
+        # The pool's contract is byte-identity with *fast-path* decode
+        # (workers pin it on); the in-process degradations must match even
+        # when the caller has toggled the scalar reference path globally.
+        with codec_config.use_fastpath(True):
+            images = decode_progressive_batch(payloads, max_scans=max_scans)
+        with self._inprocess_lock:
+            self._stats.batches += 1
+            self._stats.streams_decoded += len(payloads)
+            self._stats.bytes_decoded += sum(image.pixels.nbytes for image in images)
+        return images
+
+    def _decode_parallel(
+        self, state: _PoolState, payloads: list[bytes], max_scans
+    ) -> list[ImageBuffer]:
+        from repro.codecs.progressive import decode_progressive_batch
+
+        state.ensure_workers()
+        if not state.workers:
+            # Respawning is disabled and the fleet is gone: decode in-process
+            # without touching the (fresh, empty) queues.
+            state.stats.fallback_batches += 1
+            return self._decode_inprocess(payloads, max_scans)
+        shapes: list[tuple[int, ...]] = []
+        sizes: list[int] = []
+        offsets: list[int] = []
+        total = 0
+        for payload in payloads:
+            shape, nbytes = _frame_geometry(payload)
+            shapes.append(shape)
+            sizes.append(nbytes)
+            offsets.append(total)
+            total += nbytes
+        slab = state.acquire_slab(total)
+        views_created = False
+        try:
+            chunks = _chunk_by_bytes(
+                [len(p) for p in payloads], state.n_workers * self.chunks_per_worker
+            )
+            state.batch_counter += 1
+            batch_id = state.batch_counter
+            for chunk_id, indices in enumerate(chunks):
+                jobs = [
+                    (payloads[i], offsets[i], sizes[i], shapes[i]) for i in indices
+                ]
+                state.tasks.put((batch_id, chunk_id, slab.shm.name, max_scans, jobs))
+            pending = set(range(len(chunks)))
+            failed = not state.workers
+            last_progress = time.monotonic()
+            while pending and not failed:
+                try:
+                    done_batch, done_chunk, error = state.results.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except Empty:
+                    # Dead workers are detected directly; a worker that is
+                    # alive but wedged (e.g. a respawned fork that inherited
+                    # a lock held at fork time) trips the stall timeout, so
+                    # a batch can degrade but never hang.
+                    if any(not worker.is_alive() for worker in state.workers):
+                        failed = True
+                    elif time.monotonic() - last_progress > self.stall_timeout:
+                        state.stats.last_worker_error = "batch stalled"
+                        failed = True
+                    continue
+                if done_batch != batch_id:
+                    continue  # stale result from an aborted batch
+                if error is not None:
+                    state.stats.last_worker_error = error
+                    failed = True
+                    break
+                pending.discard(done_chunk)
+                last_progress = time.monotonic()
+
+            images: list = [None] * len(payloads)
+            if failed:
+                # Tear the fleet down to a clean slate (a killed worker can
+                # die holding a queue lock), then finish the batch with the
+                # ordinary in-process decoder.  A worker that reported a
+                # decode *error* re-raises here with the real exception.
+                state.stats.fallback_batches += 1
+                state.restart_fleet()
+                fallback = sorted(
+                    index for chunk_id in pending for index in chunks[chunk_id]
+                )
+                # Pin the fast path: workers decode with it on, and a mixed
+                # batch must not differ chunk-by-chunk when the caller has
+                # the scalar reference toggled globally.
+                with codec_config.use_fastpath(True):
+                    decoded = decode_progressive_batch(
+                        [payloads[i] for i in fallback], max_scans=max_scans
+                    )
+                for index, image in zip(fallback, decoded):
+                    images[index] = image
+            done_indices = [
+                index
+                for chunk_id, indices in enumerate(chunks)
+                if chunk_id not in pending
+                for index in indices
+            ]
+            if done_indices:
+                lease = _SlabLease()
+                weakref.finalize(lease, _release_slab, state, slab)
+                for index in done_indices:
+                    images[index] = ImageBuffer(
+                        _slab_view(slab, offsets[index], shapes[index], lease)
+                    )
+                views_created = True
+            state.stats.batches += 1
+            if done_indices:
+                # Only count batches where workers actually decoded chunks;
+                # an all-fallback batch must not masquerade as parallel.
+                state.stats.parallel_batches += 1
+            state.stats.streams_decoded += len(payloads)
+            state.stats.bytes_decoded += total
+            return images
+        finally:
+            if not views_created:
+                _release_slab(state, slab)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers and release every pooled shared-memory slab.
+
+        Slabs still referenced by outstanding frame views are unlinked as
+        soon as their last view is garbage collected.  Decoding through a
+        closed pool transparently runs in-process.
+        """
+        self._closed_inprocess = True
+        if self._state is not None:
+            self._state.shutdown(timeout=timeout)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+
+    def __enter__(self) -> "DecodePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -92,6 +92,16 @@ class PCRDataset:
         """Number of scan groups available."""
         return self.reader.n_groups
 
+    # -- parallel decode -----------------------------------------------------
+
+    def set_decode_pool(self, pool) -> None:
+        """Route record decoding through a :class:`~repro.codecs.parallel.DecodePool`.
+
+        Pass ``None`` to return to in-process decoding.  Label-mapper views
+        share the underlying reader, so they see the same pool.
+        """
+        self.reader.set_decode_pool(pool)
+
     # -- label remapping -----------------------------------------------------
 
     def with_label_mapper(self, mapper: LabelMapper) -> "PCRDataset":

@@ -51,7 +51,21 @@ def validate_scan_group(scan_group: int, n_groups: int) -> None:
         raise ScanGroupError(f"scan group {scan_group} out of range [1, {n_groups}]")
 
 
-def assemble_samples(data: bytes, codec: ProgressiveCodec, decode: bool) -> list[PCRSample]:
+def _decode_streams(streams: list[bytes], codec: ProgressiveCodec, decode_pool) -> list:
+    """Decode a minibatch of streams, through a decode pool when one is wired.
+
+    A :class:`~repro.codecs.parallel.DecodePool` is a drop-in for the
+    codec's batch API — byte-identical output, but the entropy loops run on
+    worker processes and the pixels come back through shared memory.
+    """
+    if decode_pool is not None:
+        return decode_pool.decode_batch(streams)
+    return codec.decode_batch(streams)
+
+
+def assemble_samples(
+    data: bytes, codec: ProgressiveCodec, decode: bool, decode_pool=None
+) -> list[PCRSample]:
     """Parse a record prefix and rebuild one decodable sample per entry.
 
     Shared by the local reader and the network
@@ -59,14 +73,16 @@ def assemble_samples(data: bytes, codec: ProgressiveCodec, decode: bool) -> list
     stream-reassembly invariant lives in exactly one place.  A record is a
     natural minibatch, so decoding goes through the codec's batch API
     (:meth:`~repro.codecs.progressive.ProgressiveCodec.decode_batch`), which
-    reuses pixel-stage work buffers across every sample of the record.
+    reuses pixel-stage work buffers across every sample of the record — or
+    through ``decode_pool`` (a :class:`~repro.codecs.parallel.DecodePool`)
+    to fan the record's streams out across worker processes.
     """
     parsed = parse_record_prefix(data)
     streams = [
         assemble_partial_stream(prefix, scans)
         for prefix, scans in zip(parsed.header_prefixes, parsed.scans_per_sample)
     ]
-    images = codec.decode_batch(streams) if decode else [None] * len(streams)
+    images = _decode_streams(streams, codec, decode_pool) if decode else [None] * len(streams)
     return [
         PCRSample(metadata=metadata, stream=stream, image=image)
         for metadata, stream, image in zip(parsed.samples, streams, images)
@@ -74,15 +90,16 @@ def assemble_samples(data: bytes, codec: ProgressiveCodec, decode: bool) -> list
 
 
 def assemble_samples_batch(
-    blobs: list[bytes], codec: ProgressiveCodec, decode: bool
+    blobs: list[bytes], codec: ProgressiveCodec, decode: bool, decode_pool=None
 ) -> list[list[PCRSample]]:
     """:func:`assemble_samples` over several record prefixes at once.
 
     All streams of all records decode through one batch-API call, so the
     pixel-stage scratch buffers are shared across the *whole* fetch — the
     shape a pipelined multi-record read (``RemoteRecordSource.
-    read_record_batch``) hands the codec.  Results are bitwise identical to
-    per-record assembly.
+    read_record_batch``) hands the codec — and a wired ``decode_pool``
+    parallelizes that whole fetch across its worker processes.  Results are
+    bitwise identical to per-record assembly.
     """
     parsed_records = [parse_record_prefix(data) for data in blobs]
     streams: list[bytes] = []
@@ -93,7 +110,7 @@ def assemble_samples_batch(
             for prefix, scans in zip(parsed.header_prefixes, parsed.scans_per_sample)
         )
         boundaries.append(len(streams))
-    images = codec.decode_batch(streams) if decode else [None] * len(streams)
+    images = _decode_streams(streams, codec, decode_pool) if decode else [None] * len(streams)
     out: list[list[PCRSample]] = []
     start = 0
     for parsed, end in zip(parsed_records, boundaries):
@@ -134,7 +151,9 @@ class PCRReader:
     overlap where it matters.
     """
 
-    def __init__(self, directory: str | Path, decode: bool = True) -> None:
+    def __init__(
+        self, directory: str | Path, decode: bool = True, decode_pool=None
+    ) -> None:
         self.directory = Path(directory)
         if not self.directory.is_dir():
             raise PCRError(f"{self.directory} is not a PCR dataset directory")
@@ -146,9 +165,20 @@ class PCRReader:
         self.n_groups: int = int(self.dataset_meta["n_groups"])
         self.decode_by_default = decode
         self._codec = ProgressiveCodec(quality=int(self.dataset_meta.get("quality", 90)))
+        self._decode_pool = decode_pool
         self._indexes: dict[str, RecordIndex] = {}
         self._lock = threading.Lock()
         self.stats = ReadStats()
+
+    def set_decode_pool(self, pool) -> None:
+        """Install (or remove, with ``None``) a parallel decode engine.
+
+        All subsequent decoding reads route their minibatch decode through
+        the :class:`~repro.codecs.parallel.DecodePool`.  The reader does not
+        own the pool — the caller (typically the ``DataLoader``) manages its
+        lifecycle.
+        """
+        self._decode_pool = pool
 
     def _open_store(self):
         for backend in (SQLITE_BACKEND, LSM_BACKEND):
@@ -225,7 +255,7 @@ class PCRReader:
         """
         decode = self.decode_by_default if decode is None else decode
         data = self.read_record_bytes(record_name, scan_group)
-        samples = assemble_samples(data, self._codec, decode)
+        samples = assemble_samples(data, self._codec, decode, decode_pool=self._decode_pool)
         if decode:
             with self._lock:
                 self.stats.samples_decoded += len(samples)

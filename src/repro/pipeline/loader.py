@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codecs.parallel import DecodePool
 from repro.core.dataset import PCRDataset
 from repro.pipeline.augment import Compose
 from repro.pipeline.batch import Minibatch, collate
@@ -36,6 +37,11 @@ class LoaderConfig:
     shuffle: bool = True
     drop_last: bool = False
     seed: int = 0
+    #: Decode worker *processes* (a :class:`~repro.codecs.parallel.DecodePool`
+    #: shared by all reader threads).  ``0`` decodes in-process; ``>= 2``
+    #: fans each record's streams out across that many cores.  Batches are
+    #: byte-identical either way.
+    decode_workers: int = 0
 
 
 class DataLoader:
@@ -52,6 +58,7 @@ class DataLoader:
         self.augmentations = augmentations
         self.stalls = StallTracker()
         self._rng = np.random.default_rng(self.config.seed)
+        self._decode_pool: DecodePool | None = None
 
     # -- public API -------------------------------------------------------------
 
@@ -68,7 +75,16 @@ class DataLoader:
         re-raised, the consumer abandoning the iterator mid-epoch
         (``GeneratorExit``), or normal completion — so no thread is left
         blocked on ``output_queue.put``.
+
+        With ``decode_workers > 0`` a persistent
+        :class:`~repro.codecs.parallel.DecodePool` is installed into the
+        dataset before the reader threads start; it survives across epochs
+        (worker startup is paid once), but any *abnormal* epoch exit —
+        ``KeyboardInterrupt``, ``GeneratorExit``, a re-raised worker error —
+        tears it down along with the threads, so no decode processes or
+        shared-memory slabs outlive an interrupted run.
         """
+        self._ensure_decode_pool()
         record_names = self.dataset.record_names
         sampler = (
             ShuffleSampler(record_names, seed=int(self._rng.integers(0, 2**31)))
@@ -112,6 +128,16 @@ class DataLoader:
                     yield collate([image for image, _ in chunk], [label for _, label in chunk])
             if leftovers and not self.config.drop_last:
                 yield collate([image for image, _ in leftovers], [label for _, label in leftovers])
+        except BaseException:
+            # Abnormal exit (KeyboardInterrupt, GeneratorExit, worker error):
+            # the decode processes must die with the epoch.  Stop the reader
+            # threads *first* — closing the pool waits on its in-flight
+            # batch, and readers must not keep feeding it new ones
+            # meanwhile.  On normal completion the pool stays warm for the
+            # next epoch; `close()` retires it for good.
+            stop_event.set()
+            self.shutdown_decode_pool()
+            raise
         finally:
             stop_event.set()
             self._drain_and_join(workers, output_queue)
@@ -139,6 +165,28 @@ class DataLoader:
                     pass
                 worker.join(timeout=0.05)
 
+    def shutdown_decode_pool(self) -> None:
+        """Stop the decode worker processes and release their shared memory.
+
+        Idempotent; also uninstalls the pool from the dataset so subsequent
+        reads decode in-process.  Called automatically on abnormal epoch
+        exit and by :meth:`close`.
+        """
+        pool, self._decode_pool = self._decode_pool, None
+        if pool is not None:
+            self._install_decode_pool(None)
+            pool.close()
+
+    def close(self) -> None:
+        """Release loader-owned resources (the decode pool, if any)."""
+        self.shutdown_decode_pool()
+
+    def __enter__(self) -> "DataLoader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def batches_per_epoch(self) -> int:
         """Number of minibatches one epoch produces."""
         n_samples = len(self.dataset)
@@ -148,6 +196,34 @@ class DataLoader:
         return full
 
     # -- internals ----------------------------------------------------------------
+
+    def _ensure_decode_pool(self) -> None:
+        """Create and install the decode pool on first use (persistent after)."""
+        if self.config.decode_workers <= 0 or self._decode_pool is not None:
+            return
+        # Every PCR record source (PCRDataset, RemoteRecordSource,
+        # ShardedRemoteRecordSource) exposes set_decode_pool.  A custom
+        # source without the hook cannot route decoding through a pool, so
+        # spawning worker processes for it would only burn memory — warn
+        # and keep decoding in-process instead.
+        if getattr(self.dataset, "set_decode_pool", None) is None:
+            import warnings
+
+            warnings.warn(
+                f"decode_workers={self.config.decode_workers} requested but "
+                f"{type(self.dataset).__name__} has no set_decode_pool(); "
+                "decoding stays in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        self._decode_pool = DecodePool(self.config.decode_workers)
+        self._install_decode_pool(self._decode_pool)
+
+    def _install_decode_pool(self, pool: DecodePool | None) -> None:
+        install = getattr(self.dataset, "set_decode_pool", None)
+        if install is not None:
+            install(pool)
 
     def _worker_loop(
         self,

@@ -29,6 +29,7 @@ class ShardedRemoteRecordSource(RemoteRecordSource):
         decode: bool = True,
         pool_size: int = 2,
         failover_rounds: int | None = None,
+        decode_pool=None,
     ) -> None:
         if cluster_client is None:
             if shard_map is None:
@@ -39,7 +40,12 @@ class ShardedRemoteRecordSource(RemoteRecordSource):
         else:
             owns_client = False
         try:
-            super().__init__(client=cluster_client, scan_group=scan_group, decode=decode)
+            super().__init__(
+                client=cluster_client,
+                scan_group=scan_group,
+                decode=decode,
+                decode_pool=decode_pool,
+            )
         except BaseException:
             # The base __init__ fetches dataset_meta over the wire; if that
             # fails, a client we built must not leak its pooled sockets.

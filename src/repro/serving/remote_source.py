@@ -39,6 +39,7 @@ class RemoteRecordSource:
         decode: bool = True,
         client: PCRClient | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
+        decode_pool=None,
     ) -> None:
         self.client = client if client is not None else PCRClient(
             host=host, port=port, pool_size=pool_size
@@ -53,9 +54,20 @@ class RemoteRecordSource:
         self._validate_group(self._scan_group)
         self.decode_by_default = decode
         self._codec = ProgressiveCodec(quality=int(self.dataset_meta.get("quality", 90)))
+        self._decode_pool = decode_pool
         self._indexes: dict[str, RecordIndex] = {}
         self._lock = threading.Lock()
         self.stats = ReadStats()
+
+    def set_decode_pool(self, pool) -> None:
+        """Decode fetched records through a :class:`~repro.codecs.parallel.DecodePool`.
+
+        The network then feeds exactly the bytes the fidelity target needs
+        while every local core chews on the entropy loops — pass ``None``
+        to return to in-process decoding.  The source does not own the
+        pool's lifecycle.
+        """
+        self._decode_pool = pool
 
     # -- dataset structure ---------------------------------------------------
 
@@ -118,7 +130,9 @@ class RemoteRecordSource:
         group = self._scan_group
         blobs = self.client.get_record_batch([(name, group) for name in record_names])
         decode = self.decode_by_default if decode is None else decode
-        out = assemble_samples_batch(blobs, self._codec, decode)
+        out = assemble_samples_batch(
+            blobs, self._codec, decode, decode_pool=self._decode_pool
+        )
         with self._lock:
             self.stats.bytes_read += sum(len(data) for data in blobs)
             self.stats.records_read += len(blobs)
@@ -128,7 +142,7 @@ class RemoteRecordSource:
 
     def _assemble(self, data: bytes, decode: bool | None) -> list[PCRSample]:
         decode = self.decode_by_default if decode is None else decode
-        samples = assemble_samples(data, self._codec, decode)
+        samples = assemble_samples(data, self._codec, decode, decode_pool=self._decode_pool)
         if decode:
             with self._lock:
                 self.stats.samples_decoded += len(samples)

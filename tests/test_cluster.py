@@ -283,6 +283,27 @@ class TestShardedRemoteRecordSource:
         finally:
             pcr_dataset.set_scan_group(pcr_dataset.n_groups)
 
+    def test_parallel_decode_epoch_byte_identical(self, cluster, pcr_dataset):
+        """Cluster fetch + DecodePool workers: network saturation and all
+        local cores, still byte-identical to a direct in-process read."""
+        remote_config = LoaderConfig(
+            batch_size=8, n_workers=1, shuffle=False, seed=123, decode_workers=2
+        )
+        local_config = LoaderConfig(batch_size=8, n_workers=1, shuffle=False, seed=123)
+        with ShardedRemoteRecordSource(shard_map=cluster.shard_map) as source:
+            remote_loader = DataLoader(source, remote_config)
+            try:
+                remote = list(remote_loader.epoch())
+                pool = remote_loader._decode_pool
+                assert pool is not None and pool.stats.parallel_batches > 0
+            finally:
+                remote_loader.close()
+            local = list(DataLoader(pcr_dataset, local_config).epoch())
+        assert len(remote) == len(local) > 0
+        for mine, theirs in zip(remote, local):
+            assert np.array_equal(mine.images, theirs.images)
+            assert np.array_equal(mine.labels, theirs.labels)
+
     def test_raw_bytes_match_direct_reader(self, cluster, pcr_dataset):
         reader = pcr_dataset.reader
         with ShardedRemoteRecordSource(shard_map=cluster.shard_map, decode=False) as src:

@@ -285,6 +285,27 @@ class TestScanBodyFunctions:
                 coefficients, scan
             )
 
+    def test_truncated_scan_payload_raises_documented_errors(self):
+        """Deep truncation must raise EOFError/ValueError, never IndexError.
+
+        A heavily truncated DC scan over many blocks decodes garbage through
+        the payload, through all the 1-padding, and off the end of the refill
+        word list — the guard must convert that into the documented EOFError
+        rather than leaking an IndexError.
+        """
+        from repro.codecs.markers import EOI, write_scan_segment
+        from repro.codecs.progressive import split_scans
+
+        image = make_structured_image(128, seed=19, color=True)
+        stream = ProgressiveCodec(quality=90).encode(image)
+        prefix, _ = split_scans(stream)
+        segment = find_scan_segments(stream)[0]  # DC scan, many blocks
+        body = stream[segment.payload_start : segment.end]
+        for cut in (len(body) - 8, len(body) // 2, 40):
+            bad = prefix + write_scan_segment(segment.header, body[:cut]) + EOI
+            with pytest.raises((EOFError, ValueError)):
+                decode_coefficients(bad)
+
 
 class TestToggle:
     def test_use_fastpath_restores_state(self):

@@ -1,0 +1,334 @@
+"""Differential and lifecycle tests for the process-parallel decode engine.
+
+The contract under test: :class:`repro.codecs.parallel.DecodePool` output is
+*byte-identical* to in-process fast-path decoding — across scan groups,
+colour modes, odd dimensions, worker counts, and every failure path (worker
+kill mid-batch, dead fleet, closed pool) — and a pool never leaks worker
+processes or shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codecs.markers import EOI, CodecFormatError, find_scan_segments, write_scan_segment
+from repro.codecs.parallel import DecodePool, _chunk_by_bytes
+from repro.codecs.progressive import (
+    ProgressiveCodec,
+    assemble_partial_stream,
+    decode_progressive_batch,
+    split_scans,
+)
+from tests.conftest import make_structured_image
+
+N_GROUPS = 10
+
+
+def _live_slabs() -> list[str]:
+    return glob.glob("/dev/shm/pcrslab_*")
+
+
+def _assert_identical(expected, actual) -> None:
+    assert len(expected) == len(actual)
+    for index, (ref, out) in enumerate(zip(expected, actual)):
+        assert ref.pixels.dtype == out.pixels.dtype == np.uint8
+        assert ref.pixels.shape == out.pixels.shape, f"image {index}"
+        assert np.array_equal(ref.pixels, out.pixels), f"image {index} differs"
+
+
+@pytest.fixture(scope="module")
+def streams() -> list[bytes]:
+    """Full 10-scan streams over gray/colour and even/odd dimensions."""
+    codec = ProgressiveCodec(quality=90)
+    images = [
+        make_structured_image(48, seed=1, color=True),
+        make_structured_image(48, seed=2, color=False),
+        make_structured_image(37, seed=3, color=True),  # odd dims, colour
+        make_structured_image(21, seed=4, color=False),  # odd dims, gray
+        make_structured_image(40, seed=5, color=True),
+    ]
+    return [codec.encode(image) for image in images]
+
+
+@pytest.fixture(scope="module")
+def group_payloads(streams) -> dict[int, list[bytes]]:
+    """The same streams truncated to every scan-group prefix 1..10."""
+    split = [split_scans(stream) for stream in streams]
+    return {
+        group: [assemble_partial_stream(prefix, scans[:group]) for prefix, scans in split]
+        for group in range(1, N_GROUPS + 1)
+    }
+
+
+# -- chunking ---------------------------------------------------------------
+
+
+class TestChunking:
+    @pytest.mark.parametrize(
+        "sizes,n_chunks",
+        [
+            ([5] * 10, 8),
+            ([1000, 1, 1, 1, 1], 4),
+            ([1, 1, 1, 1, 1000], 4),
+            ([7], 8),
+            ([3, 3], 1),
+            (list(range(1, 30)), 6),
+        ],
+    )
+    def test_partition_invariants(self, sizes, n_chunks):
+        chunks = _chunk_by_bytes(sizes, n_chunks)
+        # Every index exactly once, in order, no empty chunk, bounded count.
+        assert [i for chunk in chunks for i in chunk] == list(range(len(sizes)))
+        assert all(chunks)
+        assert len(chunks) <= max(1, min(n_chunks, len(sizes)))
+
+    def test_uneven_sizes_get_split(self):
+        # A huge stream must not drag the whole tail into one chunk.
+        chunks = _chunk_by_bytes([1000] + [10] * 8, 4)
+        assert len(chunks) >= 3
+
+
+# -- differential decoding --------------------------------------------------
+
+
+class TestDifferentialDecode:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_byte_identical_across_scan_groups(self, group_payloads, n_workers):
+        with DecodePool(n_workers) as pool:
+            for group in range(1, N_GROUPS + 1):
+                payloads = group_payloads[group]
+                expected = decode_progressive_batch(payloads)
+                _assert_identical(expected, pool.decode_batch(payloads))
+
+    def test_max_scans_forwarded(self, streams):
+        with DecodePool(2) as pool:
+            expected = decode_progressive_batch(streams, max_scans=3)
+            _assert_identical(expected, pool.decode_batch(streams, max_scans=3))
+
+    def test_empty_and_single(self, streams):
+        with DecodePool(2) as pool:
+            assert pool.decode_batch([]) == []
+            _assert_identical(
+                decode_progressive_batch(streams[:1]), pool.decode_batch(streams[:1])
+            )
+
+    def test_single_worker_runs_in_process(self, streams):
+        pool = DecodePool(1)
+        assert pool._state is None  # no processes, no shared memory
+        _assert_identical(decode_progressive_batch(streams), pool.decode_batch(streams))
+        pool.close()
+
+    def test_garbage_payload_raises(self, streams):
+        with DecodePool(2) as pool:
+            with pytest.raises(CodecFormatError):
+                pool.decode_batch([b"not a stream"])
+            # Pool unharmed.
+            _assert_identical(decode_progressive_batch(streams), pool.decode_batch(streams))
+
+    def test_worker_decode_error_surfaces_in_process(self, streams):
+        # A stream whose first scan payload is truncated decodes to EOFError;
+        # the worker reports it, the pool restarts the fleet and re-decodes
+        # in-process, and the caller sees the genuine exception.
+        stream = streams[0]
+        prefix, _ = split_scans(stream)
+        segment = find_scan_segments(stream)[0]
+        body = stream[segment.payload_start : segment.end]
+        bad = prefix + write_scan_segment(segment.header, body[:-8]) + EOI
+        with DecodePool(2) as pool:
+            with pytest.raises(EOFError):
+                pool.decode_batch([bad])
+            assert pool.stats.fallback_batches == 1
+            # The fleet comes back for the next batch.
+            _assert_identical(decode_progressive_batch(streams), pool.decode_batch(streams))
+            assert pool.stats.parallel_batches >= 1
+
+
+# -- zero-copy slab views ---------------------------------------------------
+
+
+class TestSlabViews:
+    def test_views_are_shared_memory_backed_and_frozen(self, streams):
+        with DecodePool(2) as pool:
+            out = pool.decode_batch(streams)
+            assert any(type(img.pixels).__name__ == "_SlabView" for img in out)
+            for img in out:
+                if type(img.pixels).__name__ == "_SlabView":
+                    assert not img.pixels.flags.writeable
+
+    def test_slab_reused_after_views_die(self, streams):
+        with DecodePool(2) as pool:
+            out = pool.decode_batch(streams)
+            del out
+            gc.collect()
+            pool.decode_batch(streams)
+            assert pool.stats.slabs_created == 1
+
+    def test_outstanding_views_pin_slab_across_batches(self, streams):
+        # Holding batch-1 frames while decoding batch 2 must not corrupt
+        # them: the leased slab is not reused until the views die.
+        with DecodePool(2) as pool:
+            first = pool.decode_batch(streams)
+            snapshots = [img.pixels.copy() for img in first]
+            pool.decode_batch(list(reversed(streams)))
+            for img, snap in zip(first, snapshots):
+                assert np.array_equal(img.pixels, snap)
+            assert pool.stats.slabs_created == 2
+
+
+# -- failure and fallback ---------------------------------------------------
+
+
+class TestFailurePaths:
+    def test_dead_fleet_falls_back_in_process(self, streams):
+        pool = DecodePool(2)
+        try:
+            state = pool._state
+            for worker in state.workers:
+                worker.terminate()
+            for worker in state.workers:
+                worker.join(timeout=5.0)
+            state.respawn = False  # pin the fallback path deterministically
+            expected = decode_progressive_batch(streams)
+            _assert_identical(expected, pool.decode_batch(streams))
+            assert pool.stats.fallback_batches == 1
+            assert pool.stats.fleet_restarts == 1
+            # Re-enable respawn: the next batch runs parallel again.
+            state.respawn = True
+            _assert_identical(expected, pool.decode_batch(streams))
+            assert pool.stats.workers_started == 4  # 2 initial + 2 respawned
+        finally:
+            pool.close()
+
+    def test_worker_kill_mid_batch(self, streams):
+        payloads = streams * 20
+        expected = decode_progressive_batch(payloads)
+        pool = DecodePool(2)
+        try:
+            state = pool._state
+
+            def assassin():
+                time.sleep(0.01)
+                for worker in list(state.workers):
+                    worker.terminate()
+
+            killer = threading.Thread(target=assassin)
+            killer.start()
+            out = pool.decode_batch(payloads)
+            killer.join()
+            _assert_identical(expected, out)
+            # Whatever the interleaving, the next batch must also be exact.
+            _assert_identical(decode_progressive_batch(streams), pool.decode_batch(streams))
+        finally:
+            pool.close()
+
+    def test_closed_pool_decodes_in_process(self, streams):
+        pool = DecodePool(2)
+        pool.close()
+        _assert_identical(decode_progressive_batch(streams), pool.decode_batch(streams))
+
+    def test_scalar_toggle_does_not_leak_into_pool_output(self, streams):
+        """Pool output is pinned to fast-path decode on *every* path.
+
+        Workers force the fast path on, so the in-process degradations
+        (n_workers<=1, closed pool, dead-fleet fallback) must pin it too —
+        otherwise a crash under ``use_fastpath(False)`` could return a batch
+        whose chunks differ by the float32-vs-float64 pixel paths' ±1 LSB.
+        """
+        from repro.codecs import config
+
+        expected = decode_progressive_batch(streams)  # fast path (default on)
+        with config.use_fastpath(False):
+            single = DecodePool(1)
+            _assert_identical(expected, single.decode_batch(streams))
+            single.close()
+            pool = DecodePool(2)
+            _assert_identical(expected, pool.decode_batch(streams))
+            state = pool._state
+            for worker in state.workers:
+                worker.terminate()
+            for worker in state.workers:
+                worker.join(timeout=5.0)
+            state.respawn = False
+            _assert_identical(expected, pool.decode_batch(streams))  # fallback
+            pool.close()
+            _assert_identical(expected, pool.decode_batch(streams))  # closed
+
+
+# -- lifecycle / leak hygiene ----------------------------------------------
+
+
+class TestLifecycle:
+    def test_close_reaps_workers_and_slabs(self, streams):
+        pool = DecodePool(2)
+        out = pool.decode_batch(streams)
+        workers = list(pool._state.workers)
+        del out
+        gc.collect()
+        pool.close()
+        assert all(not worker.is_alive() for worker in workers)
+        assert _live_slabs() == []
+
+    def test_close_with_outstanding_views_defers_slab_unlink(self, streams):
+        pool = DecodePool(2)
+        out = pool.decode_batch(streams)
+        pool.close()
+        # Views still readable after close (slab alive until they die)...
+        _assert_identical(decode_progressive_batch(streams), out)
+        del out
+        gc.collect()
+        # ...and the slab is unlinked the moment the last view is collected.
+        assert _live_slabs() == []
+
+    def test_double_close_is_idempotent(self):
+        pool = DecodePool(2)
+        pool.close()
+        pool.close()
+
+    def test_resource_tracker_stays_quiet(self, tmp_path):
+        """End-to-end child run: no leaked shm, no resource_tracker noise.
+
+        The child exercises both shutdown paths — an explicitly closed pool
+        and an abandoned one cleaned up by GC finalizers at interpreter
+        exit — with frame views still outstanding.
+        """
+        script = """
+import sys
+from repro.codecs.parallel import DecodePool
+from repro.codecs.progressive import ProgressiveCodec
+from tests.conftest import make_structured_image
+
+codec = ProgressiveCodec(quality=90)
+streams = [codec.encode(make_structured_image(32, seed=s, color=True)) for s in range(3)]
+explicit = DecodePool(2)
+held = explicit.decode_batch(streams)
+explicit.close()
+abandoned = DecodePool(2)
+held2 = abandoned.decode_batch(streams)
+sys.exit(0)
+"""
+        repo_root = Path(__file__).resolve().parent.parent
+        before = set(_live_slabs())
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=repo_root,
+            env={
+                "PYTHONPATH": f"{repo_root / 'src'}:{repo_root}",
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resource_tracker" not in result.stderr, result.stderr
+        assert "leaked" not in result.stderr, result.stderr
+        assert set(_live_slabs()) <= before

@@ -246,6 +246,78 @@ class TestDataLoaderShutdown:
         assert _wait_for_thread_count(baseline_threads) <= baseline_threads
 
 
+class TestDataLoaderParallelDecode:
+    """`decode_workers` must change throughput mechanics, never results."""
+
+    @staticmethod
+    def _epoch(dataset, decode_workers: int):
+        # One reader thread: with several, batch order depends on thread
+        # interleaving (for any decode_workers), which is not what's under
+        # test — decode parallelism must not change the *content*.
+        loader = DataLoader(
+            dataset,
+            LoaderConfig(batch_size=8, n_workers=1, seed=11, decode_workers=decode_workers),
+        )
+        try:
+            return [(b.images.copy(), b.labels.copy()) for b in loader.epoch()]
+        finally:
+            loader.close()
+
+    def test_epoch_identical_to_in_process(self, pcr_dataset):
+        reference = self._epoch(pcr_dataset, 0)
+        parallel = self._epoch(pcr_dataset, 4)
+        assert len(reference) == len(parallel)
+        for (ref_images, ref_labels), (par_images, par_labels) in zip(reference, parallel):
+            assert np.array_equal(ref_images, par_images)
+            assert np.array_equal(ref_labels, par_labels)
+
+    def test_pool_persists_across_epochs_then_close(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset, LoaderConfig(batch_size=8, n_workers=1, decode_workers=2)
+        )
+        list(loader.epoch())
+        pool = loader._decode_pool
+        assert pool is not None and not pool.closed
+        list(loader.epoch())
+        assert loader._decode_pool is pool  # warm fleet reused
+        assert pool.stats.parallel_batches > 0
+        loader.close()
+        assert loader._decode_pool is None
+        assert pool.closed
+        assert pcr_dataset.reader._decode_pool is None  # uninstalled
+
+    def test_keyboard_interrupt_tears_down_decode_workers(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset,
+            LoaderConfig(batch_size=4, n_workers=2, prefetch_batches=1, decode_workers=2),
+        )
+        iterator = loader.epoch()
+        next(iterator)
+        pool = loader._decode_pool
+        assert pool is not None
+        workers = list(pool._state.workers)
+        with pytest.raises(KeyboardInterrupt):
+            iterator.throw(KeyboardInterrupt)
+        assert loader._decode_pool is None
+        assert pool.closed
+        deadline = time.monotonic() + 5.0
+        while any(w.is_alive() for w in workers) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert all(not w.is_alive() for w in workers)
+
+    def test_abandoned_iterator_tears_down_decode_workers(self, pcr_dataset):
+        loader = DataLoader(
+            pcr_dataset,
+            LoaderConfig(batch_size=4, n_workers=2, prefetch_batches=1, decode_workers=2),
+        )
+        iterator = loader.epoch()
+        next(iterator)
+        pool = loader._decode_pool
+        iterator.close()  # GeneratorExit
+        assert loader._decode_pool is None
+        assert pool.closed
+
+
 class TestStallTracker:
     def test_fraction_and_totals(self):
         tracker = StallTracker()

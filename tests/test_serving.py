@@ -459,3 +459,38 @@ class TestRemoteRecordSource:
         with RemoteRecordSource(port=server.port, scan_group=1) as source:
             batches = _epoch_batches(DataLoader(source, config))
         assert sum(batch.images.shape[0] for batch in batches) == len(pcr_dataset)
+
+    def test_parallel_decode_matches_in_process(self, server, pcr_dataset):
+        """A DecodePool behind the remote source changes nothing but the cores used."""
+        from repro.codecs.parallel import DecodePool
+
+        names = pcr_dataset.record_names
+        with RemoteRecordSource(port=server.port, scan_group=2) as source:
+            reference = source.read_record_batch(names, decode=True)
+            with DecodePool(2) as pool:
+                source.set_decode_pool(pool)
+                parallel = source.read_record_batch(names, decode=True)
+                assert pool.stats.parallel_batches == 1
+                for ref_samples, par_samples in zip(reference, parallel):
+                    for mine, theirs in zip(ref_samples, par_samples):
+                        assert mine.key == theirs.key
+                        assert np.array_equal(mine.image.pixels, theirs.image.pixels)
+            source.set_decode_pool(None)
+
+    def test_dataloader_decode_workers_epoch_matches_local(self, server, pcr_dataset):
+        """Remote fetch + process-parallel decode == local in-process epoch."""
+        config = LoaderConfig(
+            batch_size=8, n_workers=1, shuffle=False, seed=123, decode_workers=2
+        )
+        local_config = LoaderConfig(batch_size=8, n_workers=1, shuffle=False, seed=123)
+        with RemoteRecordSource(port=server.port, decode=True) as source:
+            remote_loader = DataLoader(source, config)
+            try:
+                remote_batches = _epoch_batches(remote_loader)
+            finally:
+                remote_loader.close()
+            local_batches = _epoch_batches(DataLoader(pcr_dataset, local_config))
+        assert len(remote_batches) == len(local_batches) > 0
+        for remote, local in zip(remote_batches, local_batches):
+            assert np.array_equal(remote.images, local.images)
+            assert np.array_equal(remote.labels, local.labels)
