@@ -8,9 +8,12 @@ localhost, and measures:
 * ``prefix_containment`` — per-group hit rates once the cache holds full
   prefixes: every lower-group request must be a prefix-containment hit;
 * ``pipelined_batch`` — one pipelined ``BATCH`` round trip vs sequential
-  single-record requests;
+  single-record requests, at several batch sizes (4/16/64) so a
+  regression cannot hide in a single operating point;
 * ``multi_client`` — aggregate throughput of several concurrent clients at
   mixed scan groups against one shared server cache;
+* ``high_connection_count`` — a selector-driven load generator sweeping
+  64/256/1024 concurrent sockets against one event-loop replica;
 * ``remote_loader`` — samples/s of a ``DataLoader`` driven through
   :class:`RemoteRecordSource` at a low and a high scan group.
 
@@ -28,6 +31,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import selectors
+import socket
 import sys
 import tempfile
 import threading
@@ -37,6 +42,7 @@ from pathlib import Path
 from repro.core.dataset import PCRDataset
 from repro.datasets.synthetic import SyntheticImageGenerator, SyntheticImageSpec
 from repro.pipeline.loader import DataLoader, LoaderConfig
+from repro.serving import protocol
 from repro.serving.client import PCRClient
 from repro.serving.remote_source import RemoteRecordSource
 from repro.serving.server import PCRRecordServer
@@ -114,29 +120,172 @@ def _bench_prefix_containment(directory: Path, names: list[str], n_groups: int) 
     }
 
 
-def _bench_pipelined_batch(directory: Path, names: list[str], n_groups: int, trials: int) -> dict:
+def _bench_pipelined_batch(
+    directory: Path,
+    names: list[str],
+    n_groups: int,
+    trials: int,
+    batch_sizes: tuple[int, ...] = (4, 16, 64),
+) -> dict:
+    """Batch-vs-sequential at several batch sizes; trials are interleaved
+    (batch, then sequential, repeat) so scheduler noise hits both sides
+    equally and best-of-N compares like with like."""
+    out: dict[str, dict] = {}
     with PCRRecordServer(directory, port=0) as server:
         with PCRClient(port=server.port) as client:
-            requests = [(name, n_groups) for name in names]
-            client.get_record_batch(requests)  # warm the cache
-            batch_seconds = []
-            for _ in range(trials):
+            for size in batch_sizes:
+                requests = [(names[i % len(names)], n_groups) for i in range(size)]
+                blobs = client.get_record_batch(requests)  # warm the cache
+                total_bytes = sum(len(blob) for blob in blobs)
+                batch_best = single_best = float("inf")
+                for _ in range(trials):
+                    start = time.perf_counter()
+                    client.get_record_batch(requests)
+                    batch_best = min(batch_best, time.perf_counter() - start)
+                    start = time.perf_counter()
+                    for name, group in requests:
+                        client.get_record_bytes(name, group)
+                    single_best = min(single_best, time.perf_counter() - start)
+                out[str(size)] = {
+                    "batch_size": size,
+                    "batch_bytes": total_bytes,
+                    "batch_mb_per_s": total_bytes / _MB / batch_best,
+                    "sequential_mb_per_s": total_bytes / _MB / single_best,
+                    "speedup_vs_sequential": single_best / batch_best,
+                }
+    return out
+
+
+# Aggregate MB/s the pre-event-loop *threaded* server sustained with 4
+# concurrent clients (the last BENCH_serving.json before the rewrite) —
+# kept as the fixed reference the connection storm must beat.
+_THREADED_4CLIENT_BASELINE_MB_S = 124.21506243256005
+
+
+class _StormConnection:
+    """One socket of the high-connection-count load generator."""
+
+    __slots__ = ("sock", "assembler", "request", "to_send", "n_done", "payload_bytes")
+
+    def __init__(self, sock, request: bytes, max_payload: int) -> None:
+        self.sock = sock
+        self.assembler = protocol.FrameAssembler(max_payload)
+        self.request = request
+        self.to_send = memoryview(request)
+        self.n_done = 0
+        self.payload_bytes = 0
+
+
+def _bench_high_connection_count(
+    directory: Path,
+    names: list[str],
+    n_groups: int,
+    connection_counts: tuple[int, ...],
+    requests_per_connection: int,
+) -> dict:
+    """Drive N concurrent sockets against one replica with a selector loop.
+
+    Every connection is open for the whole sweep (peak concurrency == N)
+    and plays ping-pong: send one ``GET_RECORD``, read the response, send
+    the next, ``requests_per_connection`` times.  The driver itself is an
+    event loop, so client-side threads never cap the fan-out.
+    """
+    out: dict[str, dict] = {}
+    for n_connections in connection_counts:
+        with PCRRecordServer(directory, port=0) as server:
+            # Warm the cache so the sweep measures the serving front end,
+            # not first-touch disk reads.
+            with PCRClient(port=server.port) as warm:
+                for name in names:
+                    warm.get_record_bytes(name, n_groups)
+            sel = selectors.DefaultSelector()
+            conns: list[_StormConnection] = []
+            try:
+                for index in range(n_connections):
+                    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    sock.setblocking(False)
+                    sock.connect_ex(("127.0.0.1", server.port))
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    request = protocol.encode_frame(
+                        protocol.MSG_GET_RECORD,
+                        protocol.pack_record_request(
+                            protocol.RecordRequest(
+                                names[index % len(names)],
+                                1 + (index % n_groups),
+                            )
+                        ),
+                    )
+                    conn = _StormConnection(
+                        sock, request, protocol.DEFAULT_MAX_PAYLOAD_BYTES
+                    )
+                    conns.append(conn)
+                    sel.register(sock, selectors.EVENT_WRITE, conn)
+                n_remaining = n_connections
                 start = time.perf_counter()
-                blobs = client.get_record_batch(requests)
-                batch_seconds.append(time.perf_counter() - start)
-            total_bytes = sum(len(blob) for blob in blobs)
-            single_seconds = []
-            for _ in range(trials):
-                start = time.perf_counter()
-                _fetch_epoch(client, names, n_groups)
-                single_seconds.append(time.perf_counter() - start)
-    batch_best, single_best = min(batch_seconds), min(single_seconds)
-    return {
-        "n_records": len(names),
-        "batch_mb_per_s": total_bytes / _MB / batch_best,
-        "sequential_mb_per_s": total_bytes / _MB / single_best,
-        "speedup_vs_sequential": single_best / batch_best,
-    }
+                while n_remaining:
+                    ready = sel.select(timeout=30.0)
+                    if not ready:
+                        raise RuntimeError(
+                            f"connection storm stalled with {n_remaining} "
+                            "sockets outstanding"
+                        )
+                    for key, mask in ready:
+                        conn = key.data
+                        if mask & selectors.EVENT_WRITE:
+                            try:
+                                n = conn.sock.send(conn.to_send)
+                            except (BlockingIOError, InterruptedError):
+                                continue
+                            conn.to_send = conn.to_send[n:]
+                            if not len(conn.to_send):
+                                sel.modify(conn.sock, selectors.EVENT_READ, conn)
+                            continue
+                        try:
+                            data = conn.sock.recv(256 * 1024)
+                        except (BlockingIOError, InterruptedError):
+                            continue
+                        if not data:
+                            raise RuntimeError("server closed a storm connection")
+                        for msg_type, payload in conn.assembler.feed(data):
+                            if msg_type != protocol.MSG_RECORD_DATA:
+                                raise RuntimeError(
+                                    f"storm got response type 0x{msg_type:02x}"
+                                )
+                            conn.payload_bytes += len(payload)
+                            conn.n_done += 1
+                            if conn.n_done == requests_per_connection:
+                                sel.unregister(conn.sock)
+                                conn.sock.close()
+                                n_remaining -= 1
+                            else:
+                                conn.to_send = memoryview(conn.request)
+                                sel.modify(conn.sock, selectors.EVENT_WRITE, conn)
+                elapsed = time.perf_counter() - start
+                stats = server.stats()
+            finally:
+                for conn in conns:
+                    if conn.n_done < requests_per_connection:
+                        try:
+                            sel.unregister(conn.sock)
+                        except (KeyError, ValueError):
+                            pass
+                        conn.sock.close()
+                sel.close()
+        total_requests = sum(conn.n_done for conn in conns)
+        total_bytes = sum(conn.payload_bytes for conn in conns)
+        out[str(n_connections)] = {
+            "n_connections": n_connections,
+            "requests_per_connection": requests_per_connection,
+            "total_requests": total_requests,
+            "aggregate_mb_per_s": total_bytes / _MB / elapsed,
+            "aggregate_requests_per_s": total_requests / elapsed,
+            "elapsed_seconds": elapsed,
+            "server_accepted_connections": stats["event_loop"]["accepted_connections"],
+            "server_errors": stats["errors"],
+            "cache_hit_rate": stats["cache"]["hit_rate"],
+        }
+    out["threaded_4client_baseline_mb_per_s"] = _THREADED_4CLIENT_BASELINE_MB_S
+    return out
 
 
 def _bench_multi_client(
@@ -204,6 +353,10 @@ def run_benchmark(
     trials: int = 3,
     n_clients: int = 4,
     multi_client_epochs: int = 3,
+    batch_trials: int = 25,
+    batch_sizes: tuple[int, ...] = (4, 16, 64),
+    connection_counts: tuple[int, ...] = (64, 256, 1024),
+    storm_requests: int = 8,
 ) -> dict:
     with tempfile.TemporaryDirectory(prefix="pcr-serving-bench-") as workdir:
         dataset = _build_dataset(workdir, n_samples, image_size, images_per_record)
@@ -218,12 +371,18 @@ def run_benchmark(
                 "n_records": len(names),
                 "n_groups": n_groups,
                 "trials": trials,
+                "batch_trials": batch_trials,
             },
             "single_client_by_group": _bench_single_client(directory, names, n_groups, trials),
             "prefix_containment": _bench_prefix_containment(directory, names, n_groups),
-            "pipelined_batch": _bench_pipelined_batch(directory, names, n_groups, trials),
+            "pipelined_batch": _bench_pipelined_batch(
+                directory, names, n_groups, batch_trials, batch_sizes
+            ),
             "multi_client": _bench_multi_client(
                 directory, names, n_groups, n_clients, multi_client_epochs
+            ),
+            "high_connection_count": _bench_high_connection_count(
+                directory, names, n_groups, connection_counts, storm_requests
             ),
             "remote_loader_by_group": _bench_remote_loader(
                 directory, n_groups, batch_size=16
@@ -256,18 +415,28 @@ def print_report(results: dict) -> None:
         f"{containment['lower_group_requests']} lower-group requests served by "
         f"slicing cached prefixes (prefix hit rate {containment['prefix_hit_rate']:.2f})"
     )
-    batch = results["pipelined_batch"]
-    print(
-        f"pipelined batch:    {batch['batch_mb_per_s']:8.2f} MB/s vs "
-        f"{batch['sequential_mb_per_s']:8.2f} MB/s sequential "
-        f"({batch['speedup_vs_sequential']:.2f}x)"
-    )
+    print("pipelined batch vs sequential, per batch size:")
+    for size, row in results["pipelined_batch"].items():
+        print(
+            f"  batch {size:>3s}  {row['batch_mb_per_s']:8.2f} MB/s vs "
+            f"{row['sequential_mb_per_s']:8.2f} MB/s sequential "
+            f"({row['speedup_vs_sequential']:.2f}x)"
+        )
     multi = results["multi_client"]
     print(
         f"multi-client:       {multi['n_clients']} clients  "
         f"{multi['aggregate_mb_per_s']:8.2f} MB/s aggregate   "
         f"hit rate {multi['cache_hit_rate']:.2f}"
     )
+    print("connection storm (concurrent sockets against one replica):")
+    for count, row in results["high_connection_count"].items():
+        if not isinstance(row, dict):
+            continue  # the threaded-baseline scalar, not a sweep row
+        print(
+            f"  {count:>5s} conns  {row['aggregate_mb_per_s']:8.2f} MB/s   "
+            f"{row['aggregate_requests_per_s']:8.1f} req/s   "
+            f"{row['total_requests']} requests in {row['elapsed_seconds']:.2f}s"
+        )
     print("remote DataLoader epoch:")
     for group, row in results["remote_loader_by_group"].items():
         print(
@@ -289,6 +458,8 @@ def main(argv: list[str] | None = None) -> int:
         results = run_benchmark(
             n_samples=24, image_size=32, images_per_record=8, trials=2,
             n_clients=2, multi_client_epochs=2,
+            batch_trials=6, batch_sizes=(4, 16),
+            connection_counts=(16, 64), storm_requests=2,
         )
     else:
         results = run_benchmark()
@@ -303,12 +474,23 @@ def test_serving_bench_smoke():
     results = run_benchmark(
         n_samples=16, image_size=32, images_per_record=8, trials=1,
         n_clients=2, multi_client_epochs=1,
+        batch_trials=2, batch_sizes=(4, 16),
+        connection_counts=(32,), storm_requests=2,
     )
     containment = results["prefix_containment"]
     assert containment["prefix_hit_rate"] > 0
     assert containment["prefix_hits"] == containment["lower_group_requests"]
     for row in results["single_client_by_group"].values():
         assert row["warm_mb_per_s"] >= row["cold_mb_per_s"] * 0.2
+    # Structural checks only for the timing-sensitive sections — CI boxes
+    # are too noisy for throughput-ratio assertions at smoke scale.
+    for size, row in results["pipelined_batch"].items():
+        assert row["batch_size"] == int(size)
+        assert row["speedup_vs_sequential"] > 0
+    storm = results["high_connection_count"]["32"]
+    assert storm["total_requests"] == 32 * 2
+    assert storm["server_errors"] == 0
+    assert storm["server_accepted_connections"] >= 32
     print_report(results)
 
 

@@ -52,6 +52,7 @@ class PCRClient:
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
         max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
         retries: int = 1,
+        socket_buffer_bytes: int | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
@@ -60,6 +61,7 @@ class PCRClient:
         self.timeout = timeout
         self.max_payload = max_payload
         self.retries = retries
+        self.socket_buffer_bytes = socket_buffer_bytes
         self._pool_size = pool_size
         self._pool: queue.LifoQueue[socket.socket] = queue.LifoQueue()
         self._n_open = 0
@@ -70,7 +72,17 @@ class PCRClient:
 
     def _connect(self) -> socket.socket:
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        # NODELAY on every client socket: a request frame (and a whole
+        # pipelined BATCH) must hit the wire immediately instead of waiting
+        # out Nagle against the server's delayed ACK.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.socket_buffer_bytes:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, self.socket_buffer_bytes
+            )
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, self.socket_buffer_bytes
+            )
         return sock
 
     def _acquire(self) -> socket.socket:
@@ -125,7 +137,9 @@ class PCRClient:
 
     # -- request plumbing ----------------------------------------------------
 
-    def _request(self, msg_type: int, payload: bytes, expected_type: int) -> bytes:
+    def _request(
+        self, msg_type: int, payload: bytes, expected_type: int, copy: bool = True
+    ) -> bytes:
         """One round trip with retry-on-reconnect; returns the response payload."""
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
@@ -136,7 +150,7 @@ class PCRClient:
                 continue
             try:
                 sock.sendall(protocol.encode_frame(msg_type, payload, self.max_payload))
-                frame = protocol.read_frame(sock, self.max_payload)
+                frame = protocol.read_frame(sock, self.max_payload, copy=copy)
                 if frame is None:
                     raise ProtocolError("server closed the connection before responding")
             except (OSError, ProtocolError) as exc:
@@ -171,6 +185,11 @@ class PCRClient:
     def get_record_batch(self, requests: list[tuple[str, int]]) -> list[bytes]:
         """Pipelined fetch: many ``(record_name, scan_group)`` in one round trip.
 
+        All sub-requests are packed into one ``BATCH`` frame and written in
+        a single buffered send (no per-record round trips, no partial
+        writes interleaving with Nagle), and the response body is sliced
+        per record without re-copying the whole payload.
+
         Raises :class:`RemoteError` if any sub-request failed (the error
         message names the failing record).
         """
@@ -179,7 +198,9 @@ class PCRClient:
         payload = protocol.pack_batch_request(
             [RecordRequest(name, group) for name, group in requests]
         )
-        body = self._request(MSG_BATCH, payload, MSG_BATCH_DATA)
+        # copy=False: the multi-megabyte batch body stays in its receive
+        # buffer; each record is sliced out of it exactly once below.
+        body = self._request(MSG_BATCH, payload, MSG_BATCH_DATA, copy=False)
         frames = protocol.unpack_batch_response(body, self.max_payload)
         results: list[bytes] = []
         for (name, _), (frame_type, frame_payload) in zip(requests, frames):

@@ -55,6 +55,8 @@ class ClusterCoordinator:
         host: str = "127.0.0.1",
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         vnode_factor: int | None = None,
+        n_loops: int = 1,
+        socket_buffer_bytes: int | None = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("each shard needs at least one replica")
@@ -63,6 +65,10 @@ class ClusterCoordinator:
         self.n_replicas = n_replicas
         self.host = host
         self.cache_bytes = cache_bytes
+        # Forwarded to every replica's event-loop server: extra loops per
+        # replica and explicit SO_SNDBUF/SO_RCVBUF sizing for fat pipes.
+        self.n_loops = n_loops
+        self.socket_buffer_bytes = socket_buffer_bytes
         self._vnode_kwargs = {} if vnode_factor is None else {"vnode_factor": vnode_factor}
         self._replicas: dict[tuple[str, int], _ManagedReplica] = {}
         self._assignment: dict[str, list[str]] = {}
@@ -111,7 +117,12 @@ class ClusterCoordinator:
         view = ShardViewReader(self.dataset_dir, self._assignment[shard_id], shard_id)
         try:
             server = PCRRecordServer(
-                view, host=self.host, port=port, cache_bytes=self.cache_bytes
+                view,
+                host=self.host,
+                port=port,
+                cache_bytes=self.cache_bytes,
+                n_loops=self.n_loops,
+                socket_buffer_bytes=self.socket_buffer_bytes,
             ).start()
         except BaseException:
             view.close()

@@ -33,6 +33,9 @@ HEADER_SIZE = struct.calcsize(_HEADER_STRUCT)
 
 DEFAULT_MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
 
+# One-syscall exact reads (kernel-side loop); 0 where unsupported.
+_MSG_WAITALL = getattr(socket, "MSG_WAITALL", 0)
+
 # -- message types ------------------------------------------------------------
 
 MSG_GET_RECORD = 0x01
@@ -91,18 +94,29 @@ class RemoteError(Exception):
 # -- frame encoding / decoding ------------------------------------------------
 
 
+def encode_header(
+    msg_type: int, payload_length: int, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+) -> bytes:
+    """Serialize one frame *header* for a payload of ``payload_length`` bytes.
+
+    The zero-copy send path pairs this 8-byte header with the payload's own
+    buffer (e.g. a cache ``memoryview``) in a ``sendmsg`` gather list, so
+    the payload bytes are never concatenated into a new frame object.
+    """
+    if payload_length > max_payload:
+        raise FrameTooLargeError(
+            f"payload of {payload_length} bytes exceeds the {max_payload}-byte frame limit"
+        )
+    return struct.pack(
+        _HEADER_STRUCT, PROTOCOL_MAGIC, PROTOCOL_VERSION, msg_type, payload_length
+    )
+
+
 def encode_frame(
     msg_type: int, payload: bytes = b"", max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
 ) -> bytes:
     """Serialize one frame (header + payload)."""
-    if len(payload) > max_payload:
-        raise FrameTooLargeError(
-            f"payload of {len(payload)} bytes exceeds the {max_payload}-byte frame limit"
-        )
-    header = struct.pack(
-        _HEADER_STRUCT, PROTOCOL_MAGIC, PROTOCOL_VERSION, msg_type, len(payload)
-    )
-    return header + payload
+    return encode_header(msg_type, len(payload), max_payload) + payload
 
 
 def parse_header(
@@ -127,31 +141,110 @@ def recv_exactly(sock: socket.socket, n_bytes: int) -> bytes | None:
     """Read exactly ``n_bytes`` from a socket.
 
     Returns ``None`` on a clean EOF before the first byte; raises
-    :class:`ProtocolError` if the connection drops mid-read.
+    :class:`ProtocolError` if the connection drops mid-read.  On blocking
+    sockets the whole read is one ``MSG_WAITALL`` syscall — the kernel
+    loops, so a multi-megabyte batch body arrives without per-chunk GIL
+    round trips and with exactly one userspace allocation.
     """
-    chunks: list[bytes] = []
-    remaining = n_bytes
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks:
+    if n_bytes == 0:
+        return b""
+    # MSG_WAITALL needs a truly blocking socket: with a timeout set, Python
+    # switches the fd to non-blocking and the flag returns partial reads.
+    if _MSG_WAITALL and sock.gettimeout() is None:
+        data = sock.recv(n_bytes, _MSG_WAITALL)
+        if not data:
+            return None
+        if len(data) < n_bytes:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(data)} of {n_bytes} bytes)"
+            )
+        return data
+    buffer = _recv_exactly_into(sock, n_bytes)
+    return bytes(buffer) if buffer is not None else None
+
+
+def _recv_exactly_into(sock: socket.socket, n_bytes: int) -> bytearray | None:
+    """`recv_exactly` into a fresh ``bytearray`` (no trailing ``bytes`` copy)."""
+    buffer = bytearray(n_bytes)
+    view = memoryview(buffer)
+    received = 0
+    while received < n_bytes:
+        n = sock.recv_into(view[received:])
+        if n == 0:
+            if received == 0:
                 return None
             raise ProtocolError(
-                f"connection closed mid-frame ({n_bytes - remaining} of {n_bytes} bytes)"
+                f"connection closed mid-frame ({received} of {n_bytes} bytes)"
             )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks) if chunks else b""
+        received += n
+    return buffer
+
+
+class FrameAssembler:
+    """Incremental frame parser for a non-blocking connection.
+
+    Bytes arrive in arbitrary splits (a slow client may deliver one byte at
+    a time, a fast one several frames per ``recv``); :meth:`feed` appends
+    them and returns every frame completed so far.  The header is validated
+    as soon as its 8 bytes are available — a bad magic/version or an
+    oversized announced payload raises :class:`ProtocolError` *before* any
+    payload is buffered, so a hostile peer cannot make the server allocate
+    the announced size.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES) -> None:
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self._pending: tuple[int, int] | None = None  # validated (type, length)
+
+    def __len__(self) -> int:
+        """Bytes buffered but not yet returned as part of a complete frame."""
+        return len(self._buffer)
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when the stream ends inside an unfinished frame."""
+        return self._pending is not None or len(self._buffer) > 0
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        """Append received bytes; return the frames they completed, in order."""
+        self._buffer += data
+        frames: list[tuple[int, bytes]] = []
+        offset = 0
+        buffer = self._buffer
+        while True:
+            if self._pending is None:
+                if len(buffer) - offset < HEADER_SIZE:
+                    break
+                self._pending = parse_header(
+                    bytes(buffer[offset : offset + HEADER_SIZE]), self.max_payload
+                )
+                offset += HEADER_SIZE
+            msg_type, length = self._pending
+            if len(buffer) - offset < length:
+                break
+            frames.append((msg_type, bytes(buffer[offset : offset + length])))
+            offset += length
+            self._pending = None
+        if offset:
+            del buffer[:offset]
+        return frames
 
 
 def read_frame(
-    sock: socket.socket, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES
+    sock: socket.socket,
+    max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
+    copy: bool = True,
 ) -> tuple[int, bytes] | None:
     """Read one complete frame from a socket.
 
     Returns ``(msg_type, payload)``, or ``None`` if the peer closed the
     connection cleanly at a frame boundary.  A close inside a frame, a bad
     magic/version, or an oversized payload raises :class:`ProtocolError`.
+
+    ``copy=False`` may return the payload as a ``bytearray`` (the receive
+    buffer itself) instead of ``bytes`` — one allocation, zero copies — for
+    callers that only slice it up, like the pipelined batch client.
     """
     header = recv_exactly(sock, HEADER_SIZE)
     if header is None:
@@ -159,24 +252,33 @@ def read_frame(
     msg_type, length = parse_header(header, max_payload)
     if length == 0:
         return msg_type, b""
-    payload = recv_exactly(sock, length)
+    if copy or (_MSG_WAITALL and sock.gettimeout() is None):
+        payload = recv_exactly(sock, length)
+    else:
+        payload = _recv_exactly_into(sock, length)
     if payload is None:
         raise ProtocolError("connection closed between frame header and payload")
     return msg_type, payload
 
 
 def split_frames(data: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES) -> list[tuple[int, bytes]]:
-    """Split a byte string holding a concatenation of complete frames."""
+    """Split a bytes-like object holding a concatenation of complete frames.
+
+    Scanning happens over a ``memoryview`` so a multi-megabyte batch body
+    is never re-sliced wholesale; each frame payload is copied out exactly
+    once, into its own ``bytes``.
+    """
+    view = memoryview(data)
     frames: list[tuple[int, bytes]] = []
     offset = 0
-    while offset < len(data):
-        if offset + HEADER_SIZE > len(data):
+    while offset < len(view):
+        if offset + HEADER_SIZE > len(view):
             raise ProtocolError("trailing bytes shorter than a frame header")
-        msg_type, length = parse_header(data[offset : offset + HEADER_SIZE], max_payload)
+        msg_type, length = parse_header(bytes(view[offset : offset + HEADER_SIZE]), max_payload)
         offset += HEADER_SIZE
-        if offset + length > len(data):
+        if offset + length > len(view):
             raise ProtocolError("frame payload truncated")
-        frames.append((msg_type, data[offset : offset + length]))
+        frames.append((msg_type, bytes(view[offset : offset + length])))
         offset += length
     return frames
 
@@ -253,7 +355,7 @@ def unpack_batch_response(
     if len(payload) < 2:
         raise ProtocolError("batch response shorter than its count field")
     (count,) = struct.unpack_from("<H", payload, 0)
-    frames = split_frames(payload[2:], max_payload)
+    frames = split_frames(memoryview(payload)[2:], max_payload)
     if len(frames) != count:
         raise ProtocolError(f"batch response announced {count} frames, found {len(frames)}")
     return frames

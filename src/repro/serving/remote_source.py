@@ -40,9 +40,13 @@ class RemoteRecordSource:
         client: PCRClient | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
         decode_pool=None,
+        socket_buffer_bytes: int | None = None,
     ) -> None:
         self.client = client if client is not None else PCRClient(
-            host=host, port=port, pool_size=pool_size
+            host=host,
+            port=port,
+            pool_size=pool_size,
+            socket_buffer_bytes=socket_buffer_bytes,
         )
         self._owns_client = client is None
         meta = self.client.dataset_meta()

@@ -1,4 +1,4 @@
-"""A threaded TCP server that serves PCR record prefixes over the network.
+"""An event-loop TCP server that serves PCR record prefixes over the network.
 
 ``PCRRecordServer`` wraps a :class:`~repro.core.reader.PCRReader` and answers
 the wire protocol of :mod:`repro.serving.protocol`.  Its cache exploits the
@@ -7,16 +7,35 @@ defining property of the PCR layout: the bytes a reader needs at scan group
 cache therefore keys entries by record and remembers the *highest* group it
 has seen for each; any request at a lower group is served by slicing the
 cached prefix (a *prefix-containment hit*) without touching storage.
+
+The network front end is a non-blocking event loop on :mod:`selectors`
+rather than a thread per connection, so one replica sustains thousands of
+concurrent sockets:
+
+* every connection is a small state machine — an incremental
+  :class:`~repro.serving.protocol.FrameAssembler` on the read side, a queue
+  of pending buffer segments on the write side;
+* responses are *gather lists*: an 8-byte frame header plus a
+  ``memoryview`` slice straight out of the scan-prefix cache, handed to
+  ``socket.sendmsg`` without ever concatenating header and payload (and a
+  ``BATCH`` response is one gather list across all its sub-frames — no
+  intermediate joins);
+* write interest is toggled per connection, and a connection whose output
+  queue exceeds ``backpressure_bytes`` stops being *read* until the peer
+  drains it, so one slow client can neither stall the loop nor balloon
+  server memory;
+* ``n_loops > 1`` runs several independent loops with round-robin accept
+  handoff (the cache then re-enables its internal locking).
 """
 
 from __future__ import annotations
 
 import os
+import selectors
 import socket
-import socketserver
+import struct
 import threading
-import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -39,12 +58,39 @@ from repro.serving.protocol import (
 )
 
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+DEFAULT_BACKPRESSURE_BYTES = 8 * 1024 * 1024
+LISTEN_BACKLOG = 1024
+
+_RECV_BYTES = 256 * 1024
+
+try:
+    _IOV_MAX = os.sysconf("SC_IOV_MAX")
+except (AttributeError, OSError, ValueError):
+    _IOV_MAX = 1024
+# Cap the per-sendmsg gather list: IOV_MAX is the hard kernel limit, and
+# beyond a few hundred segments list-building costs more than it saves.
+_MAX_GATHER_SEGMENTS = max(16, min(_IOV_MAX, 512))
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+class _NullLock:
+    """A no-op context manager standing in for a Lock on single-loop servers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
 
 
 @dataclass
 class _CacheEntry:
     scan_group: int
     data: bytes
+    view: memoryview
 
 
 class ScanPrefixCache:
@@ -52,15 +98,26 @@ class ScanPrefixCache:
 
     One entry per record, holding the longest prefix (highest scan group)
     seen so far.  A lookup at group ``g`` hits whenever the cached group is
-    ``≥ g``: the response is the first ``bytes_for_group(g)`` bytes of the
-    cached prefix.  Eviction is least-recently-used by total cached bytes.
+    ``≥ g``: the response is a zero-copy ``memoryview`` of the first
+    ``bytes_for_group(g)`` bytes of the cached prefix (the full ``bytes``
+    object on an exact-length hit), which the event-loop server hands to
+    ``sendmsg`` without ever materializing the slice.  Eviction is
+    least-recently-used by total cached bytes.
+
+    ``thread_safe=False`` drops the internal lock: the single-threaded
+    event loop is the only reader and writer, so the hit/miss/bytes
+    counters stay coherent without one.  Threaded embedders (and
+    ``n_loops > 1`` servers) keep ``thread_safe=True``.
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self, capacity_bytes: int = DEFAULT_CACHE_BYTES, thread_safe: bool = True
+    ) -> None:
         self.capacity_bytes = capacity_bytes
+        self.thread_safe = thread_safe
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._bytes = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock() if thread_safe else _NullLock()
         self.exact_hits = 0
         self.prefix_hits = 0
         self.misses = 0
@@ -69,8 +126,15 @@ class ScanPrefixCache:
         self.misses_by_group: dict[int, int] = {}
         self.bytes_served_by_group: dict[int, int] = {}
 
-    def get(self, record_name: str, scan_group: int, length: int) -> bytes | None:
-        """Return the first ``length`` bytes of the record, or ``None`` on miss."""
+    def get(self, record_name: str, scan_group: int, length: int):
+        """Return a view of the first ``length`` bytes, or ``None`` on miss.
+
+        The result is ``bytes`` on an exact-length hit and a read-only
+        ``memoryview`` slice on a containment hit; both compare equal to
+        the equivalent ``bytes`` and both support ``len``/buffer APIs.  The
+        view pins the backing ``bytes`` object, so it stays valid even if
+        the entry is evicted afterwards.
+        """
         with self._lock:
             entry = self._entries.get(record_name)
             if entry is None or entry.scan_group < scan_group:
@@ -86,12 +150,15 @@ class ScanPrefixCache:
             self.bytes_served_by_group[scan_group] = (
                 self.bytes_served_by_group.get(scan_group, 0) + length
             )
-            return entry.data[:length]
+            if length == len(entry.data):
+                return entry.data
+            return entry.view[:length]
 
     def put(self, record_name: str, scan_group: int, data: bytes) -> None:
         """Cache a record prefix read at ``scan_group`` (longest prefix wins)."""
         if len(data) > self.capacity_bytes:
             return
+        data = bytes(data)
         with self._lock:
             existing = self._entries.get(record_name)
             if existing is not None:
@@ -99,7 +166,9 @@ class ScanPrefixCache:
                     self._entries.move_to_end(record_name)
                     return
                 self._bytes -= len(existing.data)
-            self._entries[record_name] = _CacheEntry(scan_group=scan_group, data=data)
+            self._entries[record_name] = _CacheEntry(
+                scan_group=scan_group, data=data, view=memoryview(data)
+            )
             self._entries.move_to_end(record_name)
             self._bytes += len(data)
             while self._bytes > self.capacity_bytes and len(self._entries) > 1:
@@ -137,63 +206,306 @@ class ScanPrefixCache:
             }
 
 
-class _RequestHandler(socketserver.BaseRequestHandler):
-    """Per-connection loop: read frames, dispatch, write responses."""
+class _Connection:
+    """Per-socket state machine: incremental parse in, gather-list out."""
 
-    def setup(self) -> None:
-        record_server: PCRRecordServer = self.server.record_server  # type: ignore[attr-defined]
-        record_server._register_connection(self.request, threading.current_thread())
-        if record_server._stopping.is_set():
-            # Accepted in serve_forever's final iteration, registered after
-            # stop() snapshotted the registry: sever ourselves so the
-            # handler loop exits immediately instead of outliving stop().
+    __slots__ = (
+        "sock",
+        "fd",
+        "assembler",
+        "out",
+        "out_bytes",
+        "close_after_flush",
+        "paused",
+        "interest",
+        "open",
+    )
+
+    def __init__(self, sock: socket.socket, max_payload: int) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.assembler = protocol.FrameAssembler(max_payload)
+        self.out: deque[memoryview] = deque()
+        self.out_bytes = 0
+        self.close_after_flush = False
+        self.paused = False
+        self.interest = selectors.EVENT_READ
+        self.open = True
+
+    def queue(self, segments) -> None:
+        """Append response buffer segments to the pending gather list."""
+        for segment in segments:
+            view = segment if isinstance(segment, memoryview) else memoryview(segment)
+            if not len(view):
+                continue
+            self.out.append(view)
+            self.out_bytes += len(view)
+
+    def consume(self, n_sent: int) -> None:
+        """Advance the gather list past ``n_sent`` transmitted bytes."""
+        self.out_bytes -= n_sent
+        out = self.out
+        while n_sent:
+            head = out[0]
+            if n_sent >= len(head):
+                n_sent -= len(head)
+                out.popleft()
+            else:
+                out[0] = head[n_sent:]
+                return
+
+
+class _EventLoop:
+    """One selector thread: accepts (loop 0), reads, dispatches, writes."""
+
+    def __init__(self, server: "PCRRecordServer", index: int) -> None:
+        self.server = server
+        self.index = index
+        self.selector = selectors.DefaultSelector()
+        self.connections: dict[int, _Connection] = {}
+        self.pending: deque[socket.socket] = deque()
+        self.pending_lock = threading.Lock()
+        self.thread: threading.Thread | None = None
+        self.accepted = 0
+        self.closed = 0
+        self.backpressure_pauses = 0
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self.selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+
+    # -- cross-thread signalling ---------------------------------------------
+
+    def wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # a wake is already pending, or the loop is tearing down
+
+    def hand_off(self, sock: socket.socket) -> None:
+        """Queue an accepted socket for admission by this loop's thread."""
+        with self.pending_lock:
+            self.pending.append(sock)
+        self.wake()
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> None:
+        stop = self.server._stop_event
+        try:
+            while not stop.is_set():
+                events = self.selector.select(timeout=0.2)
+                for key, mask in events:
+                    data = key.data
+                    if data == "wake":
+                        self._drain_wake()
+                    elif data == "listener":
+                        self._accept_ready()
+                    else:
+                        conn: _Connection = data
+                        if mask & selectors.EVENT_WRITE and conn.open:
+                            self._flush(conn)
+                        if mask & selectors.EVENT_READ and conn.open:
+                            self._read(conn)
+                self._admit_pending()
+        finally:
+            self._teardown()
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _admit_pending(self) -> None:
+        while True:
+            with self.pending_lock:
+                if not self.pending:
+                    return
+                sock = self.pending.popleft()
+            self._admit(sock)
+
+    def _teardown(self) -> None:
+        for conn in list(self.connections.values()):
+            self._close(conn)
+        self._admit_stragglers_closed()
+        try:
+            self.selector.unregister(self._wake_r)
+        except (KeyError, ValueError):
+            pass
+        self._wake_r.close()
+        self._wake_w.close()
+        self.selector.close()
+
+    def _admit_stragglers_closed(self) -> None:
+        """Sockets handed off after stop was signalled are closed, not served."""
+        with self.pending_lock:
+            stragglers = list(self.pending)
+            self.pending.clear()
+        for sock in stragglers:
             try:
-                self.request.shutdown(socket.SHUT_RDWR)
+                sock.close()
             except OSError:
                 pass
 
-    def finish(self) -> None:
-        self.server.record_server._unregister_connection(self.request)  # type: ignore[attr-defined]
+    # -- accept ----------------------------------------------------------------
 
-    def handle(self) -> None:
-        record_server: PCRRecordServer = self.server.record_server  # type: ignore[attr-defined]
-        sock: socket.socket = self.request
+    def _accept_ready(self) -> None:
+        server = self.server
         while True:
             try:
-                frame = protocol.read_frame(sock, record_server.max_payload)
+                sock, _ = server._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:
-                return  # connection reset or severed by server shutdown
-            except ProtocolError as exc:
-                self._send_quietly(
-                    sock, protocol.error_frame(protocol.ERR_MALFORMED, str(exc))
-                )
-                return
-            if frame is None:
-                return
-            msg_type, payload = frame
-            response = record_server.dispatch(msg_type, payload)
-            if not self._send_quietly(sock, response):
-                return
+                return  # listener closed under us during shutdown
+            server._configure_socket(sock)
+            target = server._loops[server._next_loop_index()]
+            if target is self:
+                self._admit(sock)
+            else:
+                target.hand_off(sock)
 
-    @staticmethod
-    def _send_quietly(sock: socket.socket, data: bytes) -> bool:
+    def _admit(self, sock: socket.socket) -> None:
+        if self.server._stop_event.is_set():
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
+        conn = _Connection(sock, self.server.max_payload)
+        self.connections[conn.fd] = conn
+        self.selector.register(sock, selectors.EVENT_READ, conn)
+        self.accepted += 1
+
+    # -- read side -------------------------------------------------------------
+
+    def _read(self, conn: _Connection) -> None:
         try:
-            sock.sendall(data)
-            return True
+            data = conn.sock.recv(_RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
         except OSError:
-            return False
+            self._close(conn)
+            return
+        if not data:
+            if conn.assembler.mid_frame:
+                # Mirror the blocking read_frame contract: EOF inside a
+                # frame is a malformed stream, answered before closing.
+                self._respond(
+                    conn,
+                    [protocol.error_frame(
+                        protocol.ERR_MALFORMED, "connection closed mid-frame"
+                    )],
+                    close_after=True,
+                )
+            else:
+                self._close(conn)
+            return
+        try:
+            frames = conn.assembler.feed(data)
+        except ProtocolError as exc:
+            self._respond(
+                conn,
+                [protocol.error_frame(protocol.ERR_MALFORMED, str(exc))],
+                close_after=True,
+            )
+            return
+        if not frames:
+            return
+        # Queue every response parsed out of this recv, then flush once:
+        # a pipelined client gets its whole response burst coalesced into
+        # as few sendmsg gather calls as the socket buffer allows.
+        for msg_type, payload in frames:
+            conn.queue(self.server._dispatch_segments(msg_type, payload))
+        self._flush(conn)
 
+    # -- write side ------------------------------------------------------------
 
-class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+    def _respond(self, conn: _Connection, segments, close_after: bool = False) -> None:
+        conn.queue(segments)
+        if close_after:
+            conn.close_after_flush = True
+        self._flush(conn)
+
+    def _flush(self, conn: _Connection) -> None:
+        sock = conn.sock
+        out = conn.out
+        while out:
+            try:
+                if _HAS_SENDMSG:
+                    if len(out) <= _MAX_GATHER_SEGMENTS:
+                        n_sent = sock.sendmsg(out)
+                    else:
+                        n_sent = sock.sendmsg(
+                            [out[i] for i in range(_MAX_GATHER_SEGMENTS)]
+                        )
+                else:  # pragma: no cover - non-sendmsg platforms
+                    n_sent = sock.send(out[0])
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(conn)
+                return
+            if n_sent == 0:
+                break
+            conn.consume(n_sent)
+        if not out:
+            if conn.close_after_flush:
+                self._close(conn)
+                return
+            self._set_interest(conn, selectors.EVENT_READ)
+            if conn.paused:
+                conn.paused = False
+        else:
+            interest = selectors.EVENT_WRITE
+            high_water = self.server.backpressure_bytes
+            if conn.out_bytes > high_water:
+                if not conn.paused:
+                    conn.paused = True
+                    self.backpressure_pauses += 1
+            elif conn.paused and conn.out_bytes <= high_water // 2:
+                conn.paused = False
+            if not conn.paused and not conn.close_after_flush:
+                interest |= selectors.EVENT_READ
+            self._set_interest(conn, interest)
+
+    def _set_interest(self, conn: _Connection, interest: int) -> None:
+        if conn.interest == interest:
+            return
+        try:
+            self.selector.modify(conn.sock, interest, conn)
+            conn.interest = interest
+        except (KeyError, ValueError, OSError):
+            self._close(conn)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _close(self, conn: _Connection) -> None:
+        if not conn.open:
+            return
+        conn.open = False
+        try:
+            self.selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self.connections.pop(conn.fd, None)
+        conn.out.clear()
+        conn.out_bytes = 0
+        self.closed += 1
 
 
 class PCRRecordServer:
     """Serves a PCR dataset directory to remote readers over TCP.
 
-    The server owns one shared (thread-safe) :class:`PCRReader`; every
-    client connection is handled on its own thread, and all connections
+    The server owns one shared :class:`PCRReader` and runs ``n_loops``
+    event-loop threads (one by default); every client connection is a
+    non-blocking state machine on one of those loops, and all connections
     share the scan-prefix cache.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`::
@@ -210,6 +522,9 @@ class PCRRecordServer:
         port: int = 0,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         max_payload: int = DEFAULT_MAX_PAYLOAD_BYTES,
+        n_loops: int = 1,
+        backpressure_bytes: int = DEFAULT_BACKPRESSURE_BYTES,
+        socket_buffer_bytes: int | None = None,
     ) -> None:
         if isinstance(dataset, (str, Path, os.PathLike)):
             self.reader = PCRReader(dataset, decode=False)
@@ -219,80 +534,129 @@ class PCRRecordServer:
             # ShardViewReader); its owner is responsible for closing it.
             self.reader = dataset
             self._owns_reader = False
+        if n_loops < 1:
+            raise ValueError("n_loops must be at least 1")
         self.host = host
         self.max_payload = max_payload
-        self.cache = ScanPrefixCache(capacity_bytes=cache_bytes)
+        self.n_loops = n_loops
+        self.backpressure_bytes = backpressure_bytes
+        self.socket_buffer_bytes = socket_buffer_bytes
+        # The single-threaded loop is the cache's only reader/writer, so it
+        # runs lock-free; multiple loops re-enable the lock.
+        self.cache = ScanPrefixCache(
+            capacity_bytes=cache_bytes, thread_safe=(n_loops > 1)
+        )
         self.requests_by_type: dict[int, int] = {}
         self.errors = 0
         self._counter_lock = threading.Lock()
-        self._connections: dict[socket.socket, threading.Thread] = {}
-        self._connections_lock = threading.Lock()
-        self._stopping = threading.Event()
-        self._tcp_server = _ThreadingTCPServer((host, port), _RequestHandler)
-        self._tcp_server.record_server = self  # type: ignore[attr-defined]
-        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._started = False
+        self._stopped = False
+        self._accept_rr = 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if socket_buffer_bytes:
+                listener.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_RCVBUF, socket_buffer_bytes
+                )
+                listener.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, socket_buffer_bytes
+                )
+            listener.bind((host, port))
+            listener.listen(LISTEN_BACKLOG)
+            listener.setblocking(False)
+        except BaseException:
+            listener.close()
+            if self._owns_reader:
+                self.reader.close()
+            raise
+        self._listener = listener
+        self._loops = [_EventLoop(self, index) for index in range(n_loops)]
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
     def port(self) -> int:
         """The bound TCP port (resolved even when constructed with port=0)."""
-        return self._tcp_server.server_address[1]
+        return self._listener.getsockname()[1]
 
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
+    @property
+    def open_connections(self) -> int:
+        """Live client connections across every event loop."""
+        return sum(len(loop.connections) for loop in self._loops)
+
+    def _configure_socket(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP test doubles
+            pass
+        if self.socket_buffer_bytes:
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_RCVBUF, self.socket_buffer_bytes
+                )
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, self.socket_buffer_bytes
+                )
+            except OSError:  # pragma: no cover
+                pass
+
+    def _next_loop_index(self) -> int:
+        index = self._accept_rr % len(self._loops)
+        self._accept_rr += 1
+        return index
+
     def start(self) -> "PCRRecordServer":
-        """Start accepting connections on a background thread."""
-        if self._thread is not None:
+        """Start the event loop(s) on background threads."""
+        if self._started:
             raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._tcp_server.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            daemon=True,
-            name=f"pcr-record-server:{self.port}",
+        self._started = True
+        self._loops[0].selector.register(
+            self._listener, selectors.EVENT_READ, "listener"
         )
-        self._thread.start()
+        for loop in self._loops:
+            loop.thread = threading.Thread(
+                target=loop.run,
+                daemon=True,
+                name=f"pcr-record-server:{self.port}:loop{loop.index}",
+            )
+            loop.thread.start()
         return self
 
     def stop(self) -> None:
-        """Gracefully stop: unbind, sever live connections, join every handler.
+        """Gracefully stop: wake every loop, close every connection, unbind.
 
-        Established connections are shut down explicitly — a persistent
-        client blocked in ``recv`` would otherwise keep its handler thread
-        (and the reader underneath it) alive past "shutdown".  Only after
-        every handler has exited is the reader closed.
+        Established connections are closed by their owning loop during
+        teardown — a persistent client blocked in ``recv`` sees EOF
+        immediately instead of a hang.  Only after every loop has exited is
+        the reader closed.
         """
-        self._stopping.set()
-        if self._thread is not None:
-            self._tcp_server.shutdown()
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        # Every handler thread was spawned inside serve_forever, so after the
-        # join above the registry can only shrink.  A handler registered after
-        # our snapshot severs itself (see _RequestHandler.setup).
-        with self._connections_lock:
-            live = list(self._connections.items())
-        for conn, _ in live:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-        deadline = time.monotonic() + 5.0
-        for _, handler_thread in live:
-            handler_thread.join(timeout=max(0.0, deadline - time.monotonic()))
-        self._tcp_server.server_close()
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop_event.set()
+        for loop in self._loops:
+            loop.wake()
+        for loop in self._loops:
+            if loop.thread is not None:
+                loop.thread.join(timeout=5.0)
+                loop.thread = None
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if not self._started:
+            # Never-started loops still hold their waker socketpairs.
+            for loop in self._loops:
+                loop._teardown()
         if self._owns_reader:
             self.reader.close()
-
-    def _register_connection(self, conn: socket.socket, thread: threading.Thread) -> None:
-        with self._connections_lock:
-            self._connections[conn] = thread
-
-    def _unregister_connection(self, conn: socket.socket) -> None:
-        with self._connections_lock:
-            self._connections.pop(conn, None)
 
     def __enter__(self) -> "PCRRecordServer":
         return self.start()
@@ -303,69 +667,110 @@ class PCRRecordServer:
     # -- dispatch ------------------------------------------------------------
 
     def dispatch(self, msg_type: int, payload: bytes) -> bytes:
-        """Map one request frame to one complete response frame."""
+        """Map one request frame to one complete response frame (joined)."""
+        return b"".join(bytes(s) for s in self._dispatch_segments(msg_type, payload))
+
+    def _dispatch_segments(self, msg_type: int, payload: bytes) -> list:
+        """Map one request frame to a response *gather list*.
+
+        The list holds buffer segments (header ``bytes`` + payload
+        ``memoryview``/``bytes``) that, concatenated, form one complete
+        response frame — the event loop hands them to ``sendmsg`` as-is,
+        so cache bytes reach the socket without an intermediate copy.
+        """
         with self._counter_lock:
             self.requests_by_type[msg_type] = self.requests_by_type.get(msg_type, 0) + 1
         try:
             if msg_type == MSG_GET_RECORD:
                 request = protocol.unpack_record_request(payload)
-                return self._record_response(request)
+                return self._record_segments(request)
             if msg_type == MSG_GET_INDEX:
                 request = protocol.unpack_record_request(payload)
                 index = self.reader.record_index(request.record_name)
-                return protocol.encode_frame(
-                    MSG_INDEX_DATA, index.to_json().encode("utf-8"), self.max_payload
-                )
+                return [
+                    protocol.encode_frame(
+                        MSG_INDEX_DATA, index.to_json().encode("utf-8"), self.max_payload
+                    )
+                ]
             if msg_type == MSG_STAT:
-                return protocol.encode_frame(
-                    MSG_STAT_DATA, protocol.pack_json(self.stats()), self.max_payload
-                )
+                return [
+                    protocol.encode_frame(
+                        MSG_STAT_DATA, protocol.pack_json(self.stats()), self.max_payload
+                    )
+                ]
             if msg_type == MSG_DATASET_META:
-                return protocol.encode_frame(
-                    MSG_META_DATA, protocol.pack_json(self._dataset_meta()), self.max_payload
-                )
+                return [
+                    protocol.encode_frame(
+                        MSG_META_DATA, protocol.pack_json(self._dataset_meta()),
+                        self.max_payload,
+                    )
+                ]
             if msg_type == MSG_BATCH:
-                return self._batch_response(payload)
-            return self._error(
-                protocol.ERR_UNSUPPORTED, f"unknown request type 0x{msg_type:02x}"
-            )
+                return self._batch_segments(payload)
+            return [
+                self._error(
+                    protocol.ERR_UNSUPPORTED, f"unknown request type 0x{msg_type:02x}"
+                )
+            ]
         except ProtocolError as exc:
-            return self._error(protocol.ERR_MALFORMED, str(exc))
+            return [self._error(protocol.ERR_MALFORMED, str(exc))]
         except ScanGroupError as exc:
-            return self._error(protocol.ERR_BAD_SCAN_GROUP, str(exc))
+            return [self._error(protocol.ERR_BAD_SCAN_GROUP, str(exc))]
         except PCRError as exc:
-            return self._error(protocol.ERR_NOT_FOUND, str(exc))
-        except Exception as exc:  # never let a handler thread die silently
-            return self._error(protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+            return [self._error(protocol.ERR_NOT_FOUND, str(exc))]
+        except Exception as exc:  # never let the event loop die on a request
+            return [self._error(protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}")]
 
-    def _record_response(self, request: protocol.RecordRequest) -> bytes:
-        data = self.serve_record_bytes(request.record_name, request.scan_group)
+    def _record_segments(self, request: protocol.RecordRequest) -> list:
+        """``[header, payload-view]`` for one record, or ``[error-frame]``."""
+        try:
+            data = self.serve_record_bytes(request.record_name, request.scan_group)
+        except ScanGroupError as exc:
+            return [self._error(protocol.ERR_BAD_SCAN_GROUP, str(exc))]
+        except PCRError as exc:
+            return [self._error(protocol.ERR_NOT_FOUND, str(exc))]
         if len(data) > self.max_payload:
-            return self._error(
-                protocol.ERR_OVERSIZED,
-                f"record prefix of {len(data)} bytes exceeds the frame limit",
-            )
-        return protocol.encode_frame(MSG_RECORD_DATA, data, self.max_payload)
+            return [
+                self._error(
+                    protocol.ERR_OVERSIZED,
+                    f"record prefix of {len(data)} bytes exceeds the frame limit",
+                )
+            ]
+        return [
+            protocol.encode_header(MSG_RECORD_DATA, len(data), self.max_payload),
+            data,
+        ]
 
-    def _batch_response(self, payload: bytes) -> bytes:
+    def _batch_segments(self, payload: bytes) -> list:
+        """One gather list for a whole ``BATCH`` response — zero joins.
+
+        Sub-frame segments accumulate directly into the outer response's
+        gather list; only their total length is computed up front, for the
+        outer header and the frame-limit check.
+        """
         requests = protocol.unpack_batch_request(payload)
-        sub_frames: list[bytes] = []
+        segments: list = []
         total = 2  # the count field of the batch body
         for index, request in enumerate(requests):
-            frame = self._record_response(request)
-            total += len(frame)
+            sub = self._record_segments(request)
+            total += sum(len(s) for s in sub)
             if total > self.max_payload:
                 # Bail before materializing more sub-frames: a small BATCH
                 # request must not be able to force an unbounded response
                 # allocation server-side.
-                return self._error(
-                    protocol.ERR_OVERSIZED,
-                    f"batch response exceeds the frame limit at sub-request "
-                    f"{index} of {len(requests)}; split the batch",
-                )
-            sub_frames.append(frame)
-        body = protocol.pack_batch_response(sub_frames)
-        return protocol.encode_frame(MSG_BATCH_DATA, body, self.max_payload)
+                return [
+                    self._error(
+                        protocol.ERR_OVERSIZED,
+                        f"batch response exceeds the frame limit at sub-request "
+                        f"{index} of {len(requests)}; split the batch",
+                    )
+                ]
+            segments.extend(sub)
+        return [
+            protocol.encode_header(MSG_BATCH_DATA, total, self.max_payload),
+            struct.pack("<H", len(requests)),
+            *segments,
+        ]
 
     def _error(self, code: int, message: str) -> bytes:
         with self._counter_lock:
@@ -374,8 +779,12 @@ class PCRRecordServer:
 
     # -- serving -------------------------------------------------------------
 
-    def serve_record_bytes(self, record_name: str, scan_group: int) -> bytes:
-        """Record prefix at ``scan_group``, from cache when containment allows."""
+    def serve_record_bytes(self, record_name: str, scan_group: int):
+        """Record prefix at ``scan_group``, from cache when containment allows.
+
+        Returns ``bytes`` on a miss or exact-length hit and a zero-copy
+        ``memoryview`` on a prefix-containment hit.
+        """
         self.reader._validate_group(scan_group)
         length = self.reader.bytes_for_group(record_name, scan_group)
         cached = self.cache.get(record_name, scan_group, length)
@@ -408,4 +817,13 @@ class PCRRecordServer:
             "reader_bytes_read": self.reader.stats.bytes_read,
             "reader_records_read": self.reader.stats.records_read,
             "cache": self.cache.stats(),
+            "event_loop": {
+                "n_loops": self.n_loops,
+                "open_connections": self.open_connections,
+                "accepted_connections": sum(loop.accepted for loop in self._loops),
+                "closed_connections": sum(loop.closed for loop in self._loops),
+                "backpressure_pauses": sum(
+                    loop.backpressure_pauses for loop in self._loops
+                ),
+            },
         }

@@ -1,0 +1,291 @@
+"""Event-loop front-end tests: concurrency, hostile clients, cleanliness.
+
+`tests/test_serving.py` covers the wire protocol and client API; this file
+drives the non-blocking event loop itself — hundreds of simultaneous
+sockets, slow-loris byte-at-a-time clients, oversized/truncated frames
+against the incremental parser, mid-write disconnects, backpressure, and
+the lock-free ScanPrefixCache semantics the loop relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.serving import protocol
+from repro.serving.client import PCRClient
+from repro.serving.server import PCRRecordServer, ScanPrefixCache
+
+# Kept modest by default so the suite passes under a low ``ulimit -n``;
+# CI raises it via the environment when the box allows.
+N_STORM_SOCKETS = int(os.environ.get("PCR_TEST_CONNECTIONS", "200"))
+
+
+@pytest.fixture(scope="module")
+def server(pcr_dataset):
+    with PCRRecordServer(pcr_dataset.reader.directory, port=0) as running:
+        yield running
+
+
+def _record_frame(name: str, group: int) -> bytes:
+    return protocol.encode_frame(
+        protocol.MSG_GET_RECORD,
+        protocol.pack_record_request(protocol.RecordRequest(name, group)),
+    )
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _n_open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+# -- high-concurrency smoke ---------------------------------------------------
+
+
+class TestHighConcurrency:
+    def test_hundreds_of_simultaneous_sockets(self, server, pcr_dataset):
+        """All sockets connect first (peak concurrency == N), then each does
+        one full request/response round trip while the rest stay open."""
+        name = pcr_dataset.record_names[0]
+        expected = pcr_dataset.reader.read_record_bytes(name, 1)
+        frame = _record_frame(name, 1)
+        socks = []
+        try:
+            for _ in range(N_STORM_SOCKETS):
+                socks.append(
+                    socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+                )
+            assert _wait_until(
+                lambda: server.open_connections >= N_STORM_SOCKETS
+            ), f"only {server.open_connections} connections admitted"
+            for sock in socks:
+                sock.sendall(frame)
+            for sock in socks:
+                msg_type, payload = protocol.read_frame(sock)
+                assert msg_type == protocol.MSG_RECORD_DATA
+                assert payload == expected
+        finally:
+            for sock in socks:
+                sock.close()
+        assert _wait_until(lambda: server.open_connections == 0)
+
+    def test_multi_loop_server(self, pcr_dataset):
+        """n_loops=2: accepts round-robin across loops, same answers."""
+        name = pcr_dataset.record_names[0]
+        expected = pcr_dataset.reader.read_record_bytes(name, 2)
+        with PCRRecordServer(pcr_dataset.reader.directory, port=0, n_loops=2) as server:
+            clients = [PCRClient(port=server.port) for _ in range(4)]
+            try:
+                for client in clients:
+                    assert client.get_record_bytes(name, 2) == expected
+            finally:
+                for client in clients:
+                    client.close()
+            stats = server.stats()["event_loop"]
+            assert stats["n_loops"] == 2
+            assert stats["accepted_connections"] >= 4
+
+
+# -- hostile / slow clients ---------------------------------------------------
+
+
+class TestSlowAndHostileClients:
+    def test_slow_loris_one_byte_at_a_time(self, server, pcr_dataset):
+        """A request dribbled one byte per send — across the header/payload
+        boundary — still gets a complete, correct response."""
+        name = pcr_dataset.record_names[0]
+        expected = pcr_dataset.reader.read_record_bytes(name, 1)
+        frame = _record_frame(name, 1)
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10.0) as sock:
+            for i in range(len(frame)):
+                sock.sendall(frame[i : i + 1])
+                time.sleep(0.001)
+            msg_type, payload = protocol.read_frame(sock)
+            assert msg_type == protocol.MSG_RECORD_DATA
+            assert payload == expected
+
+    def test_oversized_frame_rejected_without_buffering(self, server):
+        """A header announcing a payload over the limit is answered with a
+        MALFORMED error as soon as the 8 header bytes arrive — the server
+        never waits for (or allocates) the announced payload."""
+        huge = protocol.DEFAULT_MAX_PAYLOAD_BYTES + 1
+        header = protocol.encode_header(protocol.MSG_GET_RECORD, huge, huge + 1)
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10.0) as sock:
+            sock.sendall(header)  # header only; payload never sent
+            msg_type, payload = protocol.read_frame(sock)
+            assert msg_type == protocol.MSG_ERROR
+            error = protocol.unpack_error(payload)
+            assert error.code == protocol.ERR_MALFORMED
+            # The server closes the connection after the error frame.
+            assert protocol.read_frame(sock) is None
+
+    def test_bad_magic_rejected(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10.0) as sock:
+            sock.sendall(b"XXXXXXXX")
+            msg_type, payload = protocol.read_frame(sock)
+            assert msg_type == protocol.MSG_ERROR
+            assert protocol.unpack_error(payload).code == protocol.ERR_MALFORMED
+            assert protocol.read_frame(sock) is None
+
+    def test_truncated_frame_gets_malformed_error(self, server, pcr_dataset):
+        """EOF inside a frame is answered with a MALFORMED error before the
+        server closes its side — at every truncation point."""
+        frame = _record_frame(pcr_dataset.record_names[0], 1)
+        for cut in (1, protocol.HEADER_SIZE - 1, protocol.HEADER_SIZE, len(frame) - 1):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10.0
+            ) as sock:
+                sock.sendall(frame[:cut])
+                sock.shutdown(socket.SHUT_WR)
+                msg_type, payload = protocol.read_frame(sock)
+                assert msg_type == protocol.MSG_ERROR, f"cut={cut}"
+                assert protocol.unpack_error(payload).code == protocol.ERR_MALFORMED
+                assert protocol.read_frame(sock) is None
+
+    def test_assembler_truncation_fuzz(self, pcr_dataset):
+        """Feed a three-frame stream to the incremental parser at every split
+        point; the reassembled frames must be identical regardless of split."""
+        frames = [
+            _record_frame(pcr_dataset.record_names[0], 1),
+            protocol.encode_frame(protocol.MSG_STAT, b""),
+            _record_frame(pcr_dataset.record_names[-1], 3),
+        ]
+        stream = b"".join(frames)
+        reference = protocol.split_frames(stream)
+        for split in range(1, len(stream)):
+            assembler = protocol.FrameAssembler()
+            got = assembler.feed(stream[:split])
+            got += assembler.feed(stream[split:])
+            assert got == reference, f"split={split}"
+            assert not assembler.mid_frame
+        # A stream cut anywhere mid-frame leaves the assembler mid-frame.
+        assembler = protocol.FrameAssembler()
+        assembler.feed(stream[: protocol.HEADER_SIZE + 1])
+        assert assembler.mid_frame
+
+
+# -- disconnect cleanliness ---------------------------------------------------
+
+
+class TestDisconnectCleanliness:
+    def test_mid_write_disconnect_leaks_nothing(self, pcr_dataset):
+        """Clients that vanish without reading their responses must not leak
+        selector keys or file descriptors server-side."""
+        name = pcr_dataset.record_names[0]
+        group = pcr_dataset.n_groups
+        frame = _record_frame(name, group)
+        with PCRRecordServer(pcr_dataset.reader.directory, port=0) as server:
+            with PCRClient(port=server.port) as warm:
+                warm.get_record_bytes(name, group)
+            baseline_fds = _n_open_fds()
+            for _ in range(50):
+                sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+                # Request a response, then disappear before reading a byte of
+                # it: the server's write lands on a dead socket mid-flush.
+                sock.sendall(frame * 4)
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),  # RST on close, not FIN
+                )
+                sock.close()
+            assert _wait_until(lambda: server.open_connections == 0), (
+                f"{server.open_connections} connections leaked"
+            )
+            assert _wait_until(lambda: _n_open_fds() <= baseline_fds), (
+                f"fd count {_n_open_fds()} never returned to baseline {baseline_fds}"
+            )
+            # The server is still healthy afterwards.
+            with PCRClient(port=server.port) as client:
+                assert client.get_record_bytes(name, group) == bytes(
+                    pcr_dataset.reader.read_record_bytes(name, group)
+                )
+
+    def test_backpressure_pauses_slow_reader(self, pcr_dataset):
+        """A client that pipelines many requests but reads nothing trips the
+        output high-water mark; once it drains, every response arrives."""
+        name = pcr_dataset.record_names[0]
+        group = pcr_dataset.n_groups
+        n_requests = 64
+        with PCRRecordServer(
+            pcr_dataset.reader.directory,
+            port=0,
+            backpressure_bytes=4096,
+            socket_buffer_bytes=4096,
+        ) as server:
+            expected = bytes(pcr_dataset.reader.read_record_bytes(name, group))
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                sock.settimeout(10.0)
+                sock.connect(("127.0.0.1", server.port))
+                sock.sendall(_record_frame(name, group) * n_requests)
+                # Give the loop time to fill the tiny buffers and pause.
+                _wait_until(
+                    lambda: server.stats()["event_loop"]["backpressure_pauses"] > 0,
+                    timeout=2.0,
+                )
+                for _ in range(n_requests):
+                    msg_type, payload = protocol.read_frame(sock)
+                    assert msg_type == protocol.MSG_RECORD_DATA
+                    assert payload == expected
+            finally:
+                sock.close()
+            assert server.stats()["event_loop"]["backpressure_pauses"] > 0
+
+
+# -- cache semantics under the loop ------------------------------------------
+
+
+class TestLockFreeCache:
+    def test_containment_hit_is_a_view_not_a_copy(self):
+        cache = ScanPrefixCache(capacity_bytes=1 << 20, thread_safe=False)
+        data = bytes(range(256)) * 4
+        cache.put("record", 5, data)
+        exact = cache.get("record", 5, len(data))
+        assert exact is data  # exact-length hit: the stored bytes themselves
+        view = cache.get("record", 2, 100)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == data[:100]
+        assert cache.exact_hits == 1 and cache.prefix_hits == 1
+
+    def test_view_survives_eviction(self):
+        cache = ScanPrefixCache(capacity_bytes=1024, thread_safe=False)
+        first = b"a" * 600
+        cache.put("one", 3, first)
+        view = cache.get("one", 1, 300)
+        cache.put("two", 3, b"b" * 600)  # evicts "one"
+        assert cache.get("one", 1, 300) is None
+        assert bytes(view) == first[:300]  # the view pins the evicted bytes
+
+    def test_thread_safe_flag_selects_lock(self):
+        import threading as _threading
+
+        assert isinstance(
+            ScanPrefixCache(thread_safe=True)._lock, type(_threading.Lock())
+        )
+        assert not isinstance(
+            ScanPrefixCache(thread_safe=False)._lock, type(_threading.Lock())
+        )
+
+    def test_server_cache_lock_mode_follows_n_loops(self, pcr_dataset):
+        directory = pcr_dataset.reader.directory
+        single = PCRRecordServer(directory, port=0)
+        multi = PCRRecordServer(directory, port=0, n_loops=2)
+        try:
+            assert single.cache.thread_safe is False
+            assert multi.cache.thread_safe is True
+        finally:
+            single.stop()
+            multi.stop()
