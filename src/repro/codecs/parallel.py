@@ -62,6 +62,7 @@ import numpy as np
 from repro.codecs import config as codec_config
 from repro.codecs.markers import parse_frame_header
 from repro.codecs.image import ImageBuffer
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["DecodePool", "DecodePoolStats"]
 
@@ -143,14 +144,22 @@ def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:
     queue mid-put.
     """
     from repro.codecs.progressive import decode_progressive_batch
+    from repro.obs import diff_snapshots, get_registry
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     codec_config.set_fastpath(True)
+    # The registry's fork hook already zeroed inherited totals (and a
+    # spawned worker starts fresh); reset again defensively so the first
+    # chunk's delta is exactly this worker's own work.
+    registry = get_registry()
+    registry.reset()
     if warmup_quality is not None:
         try:
             _prewarm(warmup_quality)
         except Exception:  # warmup is best-effort; first real batch warms too
             pass
+    registry.reset()  # drop warmup decode counts from the first chunk delta
+    last_snapshot = registry.snapshot()
     # Slab attachments are cached (slabs are pooled and recur), but bounded:
     # the parent retires slabs over a long run and an unlinked segment's
     # memory stays resident while any mapping exists, so an unbounded cache
@@ -165,6 +174,7 @@ def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:
                 break
             batch_id, chunk_id, slab_name, max_scans, jobs = task
             try:
+                chunk_started = time.perf_counter()
                 shm = attached.pop(slab_name, None)
                 if shm is None:
                     shm = shared_memory.SharedMemory(name=slab_name)
@@ -189,9 +199,22 @@ def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:
                     )
                     region[:] = pixels.reshape(-1)
                     del region
-                result_queue.put((batch_id, chunk_id, None))
+                # Per-worker decode timing plus the registry delta since the
+                # previous chunk ride back in the result tuple; the parent
+                # merges the delta so fleet-wide metrics aggregate exactly
+                # as if the chunk had decoded in-process (fork-aware
+                # aggregation — see tests/test_obs.py parity test).
+                registry.histogram("decode.pool.chunk_seconds").observe(
+                    time.perf_counter() - chunk_started
+                )
+                registry.counter("decode.pool.chunks_total").inc()
+                snapshot = registry.snapshot()
+                delta = diff_snapshots(snapshot, last_snapshot)
+                last_snapshot = snapshot
+                result_queue.put((batch_id, chunk_id, None, delta))
             except Exception:
-                result_queue.put((batch_id, chunk_id, traceback.format_exc()))
+                last_snapshot = registry.snapshot()
+                result_queue.put((batch_id, chunk_id, traceback.format_exc(), None))
     except (KeyboardInterrupt, EOFError, OSError):
         pass  # parent is gone or tearing down; exit quietly
     finally:
@@ -581,7 +604,7 @@ class DecodePool:
             last_progress = time.monotonic()
             while pending and not failed:
                 try:
-                    done_batch, done_chunk, error = state.results.get(
+                    done_batch, done_chunk, error, delta = state.results.get(
                         timeout=_POLL_SECONDS
                     )
                 except Empty:
@@ -603,6 +626,10 @@ class DecodePool:
                     break
                 pending.discard(done_chunk)
                 last_progress = time.monotonic()
+                if delta:
+                    # Fold the worker's per-chunk registry delta into the
+                    # parent: fleet metrics equal in-process metrics.
+                    obs_metrics.get_registry().merge(delta)
 
             images: list = [None] * len(payloads)
             if failed:

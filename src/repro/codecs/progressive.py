@@ -13,6 +13,7 @@ progressive behaviour referenced in the paper, Section 3.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.codecs.color import (
 from repro.codecs.dct import forward_dct_blocks, inverse_dct_blocks
 from repro.codecs.huffman import HuffmanTable
 from repro.codecs.image import ImageBuffer
+from repro.obs import get_registry, get_tracer
 from repro.codecs.markers import (
     EOI,
     SOI,
@@ -385,12 +387,26 @@ def decode_progressive_batch(
     calling :func:`decode_coefficients` + :func:`coefficients_to_image` per
     payload — the batch reuses *buffers*, never cross-image arithmetic —
     which the equivalence tests in ``tests/test_codecs_pixelpath.py`` pin.
+
+    Every call records ``decode.streams_total`` / ``decode.bytes_total``
+    counters and a ``decode.batch_seconds`` histogram sample on the default
+    :mod:`repro.obs` registry.  This is the one instrumentation point both
+    the in-process path and the :class:`~repro.codecs.parallel.DecodePool`
+    workers share, so a worker's per-chunk registry delta aggregates into
+    the parent to exactly the totals an in-process decode would have
+    produced (the fork-parity test in ``tests/test_obs.py`` pins this).
     """
-    scratch = PixelScratch() if codec_config.FASTPATH else None
-    images: list[ImageBuffer] = []
-    for data in payloads:
-        coefficients, _ = decode_coefficients(data, max_scans=max_scans)
-        images.append(coefficients_to_image(coefficients, scratch))
+    registry = get_registry()
+    start = time.perf_counter()
+    with get_tracer().span("decode.batch", {"streams": len(payloads)}):
+        scratch = PixelScratch() if codec_config.FASTPATH else None
+        images: list[ImageBuffer] = []
+        for data in payloads:
+            coefficients, _ = decode_coefficients(data, max_scans=max_scans)
+            images.append(coefficients_to_image(coefficients, scratch))
+    registry.counter("decode.streams_total").inc(len(payloads))
+    registry.counter("decode.bytes_total").inc(sum(len(data) for data in payloads))
+    registry.histogram("decode.batch_seconds").observe(time.perf_counter() - start)
     return images
 
 

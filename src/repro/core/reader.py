@@ -26,6 +26,7 @@ from repro.core.writer import (
     SAMPLE_KEY_PREFIX,
 )
 from repro.kvstore.interface import LSM_BACKEND, SQLITE_BACKEND, open_store
+from repro.obs import get_tracer
 
 
 @dataclass(frozen=True)
@@ -58,9 +59,10 @@ def _decode_streams(streams: list[bytes], codec: ProgressiveCodec, decode_pool) 
     codec's batch API — byte-identical output, but the entropy loops run on
     worker processes and the pixels come back through shared memory.
     """
-    if decode_pool is not None:
-        return decode_pool.decode_batch(streams)
-    return codec.decode_batch(streams)
+    with get_tracer().span("loader.decode", {"streams": len(streams)}):
+        if decode_pool is not None:
+            return decode_pool.decode_batch(streams)
+        return codec.decode_batch(streams)
 
 
 def assemble_samples(
@@ -234,8 +236,9 @@ class PCRReader:
         path = self.directory / record_name
         # A fresh file handle per read: concurrent readers never share a
         # file position, so the lock only needs to cover the counters.
-        with open(path, "rb") as handle:
-            data = handle.read(length)
+        with get_tracer().span("loader.fetch", {"record": record_name}):
+            with open(path, "rb") as handle:
+                data = handle.read(length)
         if len(data) != length:
             raise PCRError(f"short read on {record_name}: got {len(data)} of {length} bytes")
         with self._lock:

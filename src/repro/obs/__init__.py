@@ -1,0 +1,43 @@
+"""``repro.obs`` — unified observability: metrics registry + span tracing.
+
+One schema for every number the stack produces:
+
+* :mod:`repro.obs.metrics` — named counters / gauges / fixed-bucket
+  histograms in a thread-safe, fork-aware :class:`MetricsRegistry`, with
+  snapshot / diff / merge operations that carry telemetry across process
+  boundaries (``DecodePool`` workers) and across the wire (the record
+  server's ``GET_METRICS`` op, cluster-wide aggregation).
+* :mod:`repro.obs.trace` — a span :class:`Tracer` with a bounded ring
+  buffer and Chrome trace-event export for ``chrome://tracing`` /
+  Perfetto.
+
+Both default objects are cheap when off: a disabled registry or tracer
+costs one branch per event.  See ``docs/observability.md`` for the metric
+catalog and span naming scheme.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    merge_snapshots,
+)
+from repro.obs.trace import SpanEvent, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "SpanEvent",
+    "Tracer",
+    "diff_snapshots",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+]

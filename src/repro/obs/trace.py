@@ -1,0 +1,233 @@
+"""Span-based tracing with Chrome trace-event export.
+
+A *span* is one named, timed region of code::
+
+    tracer = get_tracer()
+    tracer.set_enabled(True)
+    with tracer.span("decode.entropy"):
+        ...
+
+Spans nest naturally (the tracer keeps a per-thread stack, so each finished
+span records the name of its enclosing span), timestamps come from
+``time.perf_counter`` (monotonic), and finished spans land in a bounded
+ring buffer — a long-running process keeps the most recent ``capacity``
+spans and silently drops the oldest, so tracing never grows memory without
+bound.
+
+:meth:`Tracer.export_chrome` writes the buffer as Chrome trace-event JSON
+(``"X"`` complete events, microsecond timestamps), loadable directly in
+``chrome://tracing`` or https://ui.perfetto.dev — the per-batch loader
+spans then render as a flame chart whose ``loader.wait`` rows *are* the
+paper's Figure 11 stall timeline.
+
+A disabled tracer (the default) costs one branch per ``span()`` call: it
+returns a shared no-op context manager and touches nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["SpanEvent", "Tracer", "get_tracer"]
+
+
+class SpanEvent:
+    """One finished span: name, parent span name, start/duration, thread."""
+
+    __slots__ = ("name", "parent", "start", "duration", "thread_id", "args")
+
+    def __init__(self, name, parent, start, duration, thread_id, args) -> None:
+        self.name = name
+        self.parent = parent
+        self.start = start
+        self.duration = duration
+        self.thread_id = thread_id
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanEvent({self.name!r}, parent={self.parent!r}, "
+            f"start={self.start:.6f}, duration={self.duration:.6f})"
+        )
+
+
+class _NoopSpan:
+    """The shared context manager a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span; records itself into the tracer's ring buffer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "start", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, args) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.start = 0.0
+        self.parent = None
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._tracer._record(
+            SpanEvent(
+                self.name,
+                self.parent,
+                self.start,
+                end - self.start,
+                threading.get_ident(),
+                self.args,
+            )
+        )
+
+
+class Tracer:
+    """Collects spans into a bounded ring buffer; exports Chrome trace JSON."""
+
+    def __init__(self, capacity: int = 8192, enabled: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._enabled = enabled
+        self._events: deque[SpanEvent] = deque(maxlen=capacity)
+        self._local = threading.local()
+        #: perf_counter origin for exported timestamps, so every event in
+        #: one export shares a zero point.
+        self._epoch = time.perf_counter()
+
+    # -- enablement -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, args: dict | None = None):
+        """A context manager timing one region (no-op when disabled)."""
+        if not self._enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, args)
+
+    def add_event(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict | None = None,
+        parent: str | None = None,
+    ) -> None:
+        """Inject an already-measured interval as a span.
+
+        Used where the caller has timed the interval itself (the loader's
+        stall accounting measures each wait exactly once and feeds both the
+        :class:`~repro.pipeline.stall.StallTracker` and the trace from the
+        same numbers, so the exported timeline matches the stall stats to
+        the digit).  ``start`` is a ``time.perf_counter`` value.
+        """
+        if not self._enabled:
+            return
+        self._record(
+            SpanEvent(name, parent, start, duration, threading.get_ident(), args)
+        )
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, event: SpanEvent) -> None:
+        self._events.append(event)  # deque.append is atomic under the GIL
+
+    # -- inspection / export --------------------------------------------------
+
+    def events(self) -> list[SpanEvent]:
+        """The buffered spans, oldest first (completion order)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_chrome_events(self) -> list[dict]:
+        """The ring buffer as Chrome trace-event dicts (``"X"`` events)."""
+        pid = os.getpid()
+        chrome: list[dict] = []
+        for event in self._events:
+            entry = {
+                "name": event.name,
+                "ph": "X",
+                "ts": (event.start - self._epoch) * 1e6,
+                "dur": event.duration * 1e6,
+                "pid": pid,
+                "tid": event.thread_id,
+                "cat": event.name.split(".", 1)[0],
+            }
+            args = dict(event.args) if event.args else {}
+            if event.parent is not None:
+                args["parent"] = event.parent
+            if args:
+                entry["args"] = args
+            chrome.append(entry)
+        chrome.sort(key=lambda entry: entry["ts"])
+        return chrome
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the buffer as a ``chrome://tracing`` / Perfetto JSON file."""
+        path = Path(path)
+        document = {
+            "traceEvents": self.to_chrome_events(),
+            "displayTimeUnit": "ms",
+        }
+        path.write_text(json.dumps(document, indent=1) + "\n")
+        return path
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled until switched on)."""
+    return _DEFAULT_TRACER
+
+
+# A forked child inherits the parent's ring buffer; those spans belong to
+# the parent's timeline, so drop them (the enabled flag is kept as-is).
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on POSIX
+    os.register_at_fork(after_in_child=_DEFAULT_TRACER.clear)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.codecs.parallel import DecodePool
 from repro.core.dataset import PCRDataset
+from repro.obs import get_registry, get_tracer
 from repro.pipeline.augment import Compose
 from repro.pipeline.batch import Minibatch, collate
 from repro.pipeline.sampler import SequentialSampler, ShuffleSampler
@@ -108,13 +109,20 @@ class DataLoader:
         for worker in workers:
             worker.start()
 
+        tracer = get_tracer()
+        batches_total = get_registry().counter("loader.batches_total")
         try:
             finished_workers = 0
             leftovers: list[tuple[np.ndarray, int]] = []
             while finished_workers < n_workers:
+                # One wait interval feeds the stall tracker *and* the trace
+                # from the same measurement, so the exported "loader.wait"
+                # spans reproduce the stall timeline exactly.
                 wait_start = time.perf_counter()
                 item = output_queue.get()
-                self.stalls.record_wait(time.perf_counter() - wait_start)
+                waited = time.perf_counter() - wait_start
+                self.stalls.record_wait(waited)
+                tracer.add_event("loader.wait", wait_start, waited)
                 if item is _END_OF_EPOCH:
                     finished_workers += 1
                     continue
@@ -125,9 +133,26 @@ class DataLoader:
                 while len(leftovers) >= self.config.batch_size:
                     chunk = leftovers[: self.config.batch_size]
                     leftovers = leftovers[self.config.batch_size :]
-                    yield collate([image for image, _ in chunk], [label for _, label in chunk])
+                    with tracer.span("loader.collate"):
+                        batch = collate(
+                            [image for image, _ in chunk], [label for _, label in chunk]
+                        )
+                    batches_total.inc()
+                    # The gap between handing a batch out and being resumed
+                    # is the consumer's compute time — the other half of the
+                    # stall fraction — recorded automatically instead of
+                    # asking the training loop to time itself.
+                    yielded_at = time.perf_counter()
+                    yield batch
+                    self.stalls.record_compute(time.perf_counter() - yielded_at)
             if leftovers and not self.config.drop_last:
-                yield collate([image for image, _ in leftovers], [label for _, label in leftovers])
+                with tracer.span("loader.collate"):
+                    batch = collate(
+                        [image for image, _ in leftovers],
+                        [label for _, label in leftovers],
+                    )
+                batches_total.inc()
+                yield batch
         except BaseException:
             # Abnormal exit (KeyboardInterrupt, GeneratorExit, worker error):
             # the decode processes must die with the epoch.  Stop the reader
@@ -275,16 +300,20 @@ class DataLoader:
         order = rng.permutation(len(samples))
         images: list[np.ndarray] = []
         labels: list[int] = []
-        for index in order:
-            sample = samples[index]
-            if self.augmentations is not None:
-                # Augmentations are defined over float64 pixel arrays.
-                images.append(self.augmentations(sample.image.as_float(), rng))
-            else:
-                # No augmentation: hand ``collate`` the uint8 pixels as-is.
-                # Its float32 conversion of uint8 values is bit-identical to
-                # casting through float64 first, so this skips one full-image
-                # float64 copy per sample on the hot path.
+        if self.augmentations is not None:
+            # Augmentations are defined over float64 pixel arrays.
+            with get_tracer().span("loader.augment", {"record": record_name}):
+                for index in order:
+                    sample = samples[index]
+                    images.append(self.augmentations(sample.image.as_float(), rng))
+                    labels.append(sample.label)
+        else:
+            # No augmentation: hand ``collate`` the uint8 pixels as-is.
+            # Its float32 conversion of uint8 values is bit-identical to
+            # casting through float64 first, so this skips one full-image
+            # float64 copy per sample on the hot path.
+            for index in order:
+                sample = samples[index]
                 images.append(sample.image.pixels)
-            labels.append(sample.label)
+                labels.append(sample.label)
         return images, labels

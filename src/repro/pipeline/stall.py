@@ -4,27 +4,58 @@ A *data stall* is time the training loop spends waiting for the next
 minibatch because the prefetching loader has not produced one yet.  The
 tracker records per-iteration wait times so the stall timeline and aggregate
 stall fraction can be reported.
+
+``StallTracker`` is now a thin facade over the :mod:`repro.obs` metrics
+registry: every recorded wait/compute interval also lands on shared
+registry metrics (``loader.wait_seconds`` histogram,
+``loader.{wait,compute}_seconds_total`` counters, ...), so the stall story
+shows up in the same snapshot schema as the decode, serving, and storage
+telemetry.  The list-based API (``wait_seconds``, ``timeline()``,
+``stall_fraction``) is unchanged — the lists stay the exact per-iteration
+record the Figure 11 series needs, while the registry carries the
+aggregates.  ``DataLoader.epoch()`` populates both sides automatically
+(waits from its queue gets, compute from the gaps between ``yield``s), so
+callers no longer time anything by hand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs import MetricsRegistry, get_registry
+
+#: A wait longer than this counts as a stalled iteration (same default the
+#: original ``stalled_iterations`` used).
+STALL_THRESHOLD_SECONDS = 1e-3
 
 
-@dataclass
 class StallTracker:
-    """Accumulates per-iteration data-wait times."""
+    """Accumulates per-iteration data-wait times (registry-backed facade)."""
 
-    wait_seconds: list[float] = field(default_factory=list)
-    compute_seconds: list[float] = field(default_factory=list)
+    def __init__(
+        self,
+        wait_seconds: list[float] | None = None,
+        compute_seconds: list[float] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.wait_seconds: list[float] = list(wait_seconds or [])
+        self.compute_seconds: list[float] = list(compute_seconds or [])
+        registry = registry if registry is not None else get_registry()
+        self._wait_histogram = registry.histogram("loader.wait_seconds")
+        self._wait_total = registry.counter("loader.wait_seconds_total")
+        self._compute_total = registry.counter("loader.compute_seconds_total")
+        self._stalled_total = registry.counter("loader.stalled_iterations_total")
 
     def record_wait(self, seconds: float) -> None:
         """Record the time spent waiting for one minibatch."""
         self.wait_seconds.append(seconds)
+        self._wait_histogram.observe(seconds)
+        self._wait_total.inc(seconds)
+        if seconds > STALL_THRESHOLD_SECONDS:
+            self._stalled_total.inc()
 
     def record_compute(self, seconds: float) -> None:
         """Record the time spent computing on one minibatch."""
         self.compute_seconds.append(seconds)
+        self._compute_total.inc(seconds)
 
     @property
     def total_wait(self) -> float:
@@ -42,7 +73,7 @@ class StallTracker:
         total = self.total_wait + self.total_compute
         return self.total_wait / total if total else 0.0
 
-    def stalled_iterations(self, threshold_seconds: float = 1e-3) -> int:
+    def stalled_iterations(self, threshold_seconds: float = STALL_THRESHOLD_SECONDS) -> int:
         """Number of iterations whose wait exceeded ``threshold_seconds``."""
         return sum(1 for wait in self.wait_seconds if wait > threshold_seconds)
 

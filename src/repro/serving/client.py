@@ -26,9 +26,11 @@ from repro.serving.protocol import (
     MSG_DATASET_META,
     MSG_ERROR,
     MSG_GET_INDEX,
+    MSG_GET_METRICS,
     MSG_GET_RECORD,
     MSG_INDEX_DATA,
     MSG_META_DATA,
+    MSG_METRICS_DATA,
     MSG_RECORD_DATA,
     MSG_STAT,
     MSG_STAT_DATA,
@@ -221,6 +223,17 @@ class PCRClient:
     def stat(self) -> dict:
         """Fetch the server's live statistics (cache counters included)."""
         return protocol.unpack_json(self._request(MSG_STAT, b"", MSG_STAT_DATA))
+
+    def metrics(self) -> dict:
+        """Scrape the server's metrics registry (``GET_METRICS``).
+
+        Returns ``{"address", "pid", "metrics_enabled", "registry"}`` where
+        ``registry`` is a :meth:`~repro.obs.MetricsRegistry.snapshot` dict —
+        mergeable across replicas with :func:`repro.obs.merge_snapshots`.
+        """
+        return protocol.unpack_json(
+            self._request(MSG_GET_METRICS, b"", MSG_METRICS_DATA)
+        )
 
     def dataset_meta(self) -> dict:
         """Fetch dataset-level metadata: groups, sample count, record names."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.index import RecordIndex
 from repro.serving.client import PCRClient
@@ -224,18 +225,35 @@ class ClusterClient:
     # -- reporting -------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Cluster-wide view: per-replica server stats plus client counters."""
+        """Cluster-wide view: per-replica server stats plus client counters.
+
+        Replicas are scraped concurrently, so the sweep costs one slow
+        replica's round trip (or timeout), not the fleet's sum; an
+        unreachable replica is reported as ``{"reachable": False}``.
+        """
+        targets = [
+            (shard_id, replica)
+            for shard_id in self.shard_map.shard_ids
+            for replica in self.shard_map.replicas(shard_id)
+        ]
+
+        def scrape(replica: ShardReplica) -> dict:
+            try:
+                stat = self._client_for(replica).stat()
+                stat["reachable"] = True
+            except (ConnectionError, OSError):
+                stat = {"reachable": False}
+            return stat
+
+        scraped: list[dict] = []
+        if targets:
+            with ThreadPoolExecutor(max_workers=min(8, len(targets))) as pool:
+                scraped = list(pool.map(lambda t: scrape(t[1]), targets))
         shards: dict[str, dict] = {}
-        for shard_id in self.shard_map.shard_ids:
-            replicas: dict[str, dict] = {}
-            for replica in self.shard_map.replicas(shard_id):
-                try:
-                    stat = self._client_for(replica).stat()
-                    stat["reachable"] = True
-                except (ConnectionError, OSError):
-                    stat = {"reachable": False}
-                replicas[str(replica.replica_index)] = stat
-            shards[shard_id] = {"replicas": replicas}
+        for (shard_id, replica), stat in zip(targets, scraped):
+            shards.setdefault(shard_id, {"replicas": {}})["replicas"][
+                str(replica.replica_index)
+            ] = stat
         with self._lock:
             failovers = self.failovers
             failed = dict(self.failed_endpoints)

@@ -17,14 +17,22 @@ Lifecycle verbs mirror what an operator needs mid-flight:
 * :meth:`drain_shard` / :meth:`restart_shard` — take a whole shard out of
   (and back into) service without touching the topology;
 * :meth:`stats` — per-shard, per-replica cache/throughput counters plus
-  cluster-wide aggregates.
+  cluster-wide aggregates, collected concurrently and tolerant of replicas
+  dying mid-collection;
+* :meth:`cluster_stats` — fleet-wide metrics registry snapshots scraped
+  over the wire (``GET_METRICS``) from every replica concurrently and
+  merged into one cluster-wide view; dead replicas are reported as
+  ``down``, never raised.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.core.reader import PCRReader
+from repro.obs import merge_snapshots
+from repro.serving.client import PCRClient
 from repro.serving.cluster.shard_map import ShardMap, ShardReplica, default_shard_ids
 from repro.serving.cluster.views import ShardViewReader
 from repro.serving.server import DEFAULT_CACHE_BYTES, PCRRecordServer
@@ -206,23 +214,42 @@ class ClusterCoordinator:
     # -- reporting -------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Per-replica serving stats plus cluster-wide aggregates."""
+        """Per-replica serving stats plus cluster-wide aggregates.
+
+        Replica stats are collected concurrently (one fleet-wide sweep
+        costs the slowest replica, not the sum), and a replica that dies
+        mid-collection is reported as ``{"running": False}`` with the error
+        attached instead of failing the whole report.
+        """
+        items = sorted(self._replicas.items())
+
+        def collect(managed: _ManagedReplica) -> dict:
+            if not managed.running:
+                return {"running": False}
+            try:
+                stat = managed.server.stats()
+            except Exception as exc:
+                return {"running": False, "error": f"{type(exc).__name__}: {exc}"}
+            stat["running"] = True
+            stat["restarts"] = managed.restarts
+            return stat
+
+        collected: list[dict] = []
+        if items:
+            with ThreadPoolExecutor(max_workers=min(8, len(items))) as pool:
+                collected = list(pool.map(lambda kv: collect(kv[1]), items))
         shards: dict[str, dict] = {}
         total_requests = 0
         total_hits = 0
         total_lookups = 0
-        for (shard_id, replica_index), managed in sorted(self._replicas.items()):
+        for ((shard_id, replica_index), _), stat in zip(items, collected):
             entry = shards.setdefault(
                 shard_id,
                 {"n_records": len(self._assignment.get(shard_id, [])), "replicas": {}},
             )
-            if not managed.running:
-                entry["replicas"][str(replica_index)] = {"running": False}
-                continue
-            stat = managed.server.stats()
-            stat["running"] = True
-            stat["restarts"] = managed.restarts
             entry["replicas"][str(replica_index)] = stat
+            if not stat.get("running"):
+                continue
             total_requests += stat["n_requests"]
             cache = stat["cache"]
             total_hits += cache["exact_hits"] + cache["prefix_hits"]
@@ -236,4 +263,51 @@ class ClusterCoordinator:
                 "live_replicas": len(self.live_replicas()),
                 "total_replicas": len(self._replicas),
             },
+        }
+
+    def cluster_stats(self, timeout: float = 2.0) -> dict:
+        """Fleet-wide metrics scraped over the wire and merged.
+
+        Every replica in the topology is scraped concurrently with the
+        ``GET_METRICS`` op — the same network path an external scraper
+        would use, so the numbers reflect what the fleet actually serves.
+        Per-replica registry snapshots are merged with
+        :func:`repro.obs.merge_snapshots` into one cluster-wide snapshot.
+        A replica that cannot be reached (stopped, crashed, mid-restart)
+        is reported as ``{"status": "down"}`` with the error attached;
+        a dead replica never fails the sweep.
+        """
+        items = sorted(self._replicas.items())
+
+        def scrape(managed: _ManagedReplica) -> dict:
+            replica = managed.replica
+            try:
+                with PCRClient(
+                    host=replica.host,
+                    port=replica.port,
+                    pool_size=1,
+                    retries=0,
+                    timeout=timeout,
+                ) as client:
+                    report = client.metrics()
+            except Exception as exc:
+                return {"status": "down", "error": f"{type(exc).__name__}: {exc}"}
+            report["status"] = "up"
+            return report
+
+        reports: list[dict] = []
+        if items:
+            with ThreadPoolExecutor(max_workers=min(8, len(items))) as pool:
+                reports = list(pool.map(lambda kv: scrape(kv[1]), items))
+        replicas: dict[str, dict] = {}
+        live_registries: list[dict] = []
+        for ((shard_id, replica_index), _), report in zip(items, reports):
+            replicas[f"{shard_id}/{replica_index}"] = report
+            if report["status"] == "up":
+                live_registries.append(report["registry"])
+        return {
+            "replicas": replicas,
+            "merged": merge_snapshots(live_registries),
+            "live_replicas": len(live_registries),
+            "total_replicas": len(items),
         }

@@ -9,7 +9,8 @@ Every message on the wire is one *frame*::
 
 Requests carry structured binary payloads (``struct``-packed, names UTF-8);
 responses carry either raw record bytes (``RECORD_DATA``), UTF-8 JSON
-(``INDEX_DATA`` / ``STAT_DATA`` / ``META_DATA``), a concatenation of
+(``INDEX_DATA`` / ``STAT_DATA`` / ``META_DATA`` / ``METRICS_DATA``), a
+concatenation of
 complete sub-frames (``BATCH_DATA``, one per pipelined sub-request), or a
 structured error frame (``ERROR``: error code + UTF-8 message).
 
@@ -43,17 +44,30 @@ MSG_GET_INDEX = 0x02
 MSG_STAT = 0x03
 MSG_DATASET_META = 0x04
 MSG_BATCH = 0x05
+MSG_GET_METRICS = 0x06
 
 MSG_RECORD_DATA = 0x81
 MSG_INDEX_DATA = 0x82
 MSG_STAT_DATA = 0x83
 MSG_META_DATA = 0x84
 MSG_BATCH_DATA = 0x85
+MSG_METRICS_DATA = 0x86
 MSG_ERROR = 0xFF
 
 REQUEST_TYPES = frozenset(
-    {MSG_GET_RECORD, MSG_GET_INDEX, MSG_STAT, MSG_DATASET_META, MSG_BATCH}
+    {MSG_GET_RECORD, MSG_GET_INDEX, MSG_STAT, MSG_DATASET_META, MSG_BATCH, MSG_GET_METRICS}
 )
+
+#: Mnemonic names for request types — also the suffixes of the server's
+#: ``serving.requests.<name>_total`` registry counters.
+MESSAGE_NAMES = {
+    MSG_GET_RECORD: "get_record",
+    MSG_GET_INDEX: "get_index",
+    MSG_STAT: "stat",
+    MSG_DATASET_META: "dataset_meta",
+    MSG_BATCH: "batch",
+    MSG_GET_METRICS: "get_metrics",
+}
 
 # -- error codes --------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from repro.core.reader import (
     assemble_samples_batch,
     validate_scan_group,
 )
+from repro.obs import get_tracer
 from repro.serving.client import DEFAULT_POOL_SIZE, PCRClient
 
 
@@ -116,7 +117,8 @@ class RemoteRecordSource:
 
     def read_record(self, record_name: str, decode: bool | None = None) -> list[PCRSample]:
         """Fetch and reassemble one record at the current scan group."""
-        data = self.client.get_record_bytes(record_name, self._scan_group)
+        with get_tracer().span("loader.fetch", {"record": record_name}):
+            data = self.client.get_record_bytes(record_name, self._scan_group)
         with self._lock:
             self.stats.bytes_read += len(data)
             self.stats.records_read += 1
@@ -132,7 +134,8 @@ class RemoteRecordSource:
         buffers are shared across the whole multi-record response.
         """
         group = self._scan_group
-        blobs = self.client.get_record_batch([(name, group) for name in record_names])
+        with get_tracer().span("loader.fetch", {"records": len(record_names)}):
+            blobs = self.client.get_record_batch([(name, group) for name in record_names])
         decode = self.decode_by_default if decode is None else decode
         out = assemble_samples_batch(
             blobs, self._codec, decode, decode_pool=self._decode_pool

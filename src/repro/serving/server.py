@@ -35,12 +35,15 @@ import selectors
 import socket
 import struct
 import threading
+import time
+from bisect import bisect_left
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.errors import PCRError, ScanGroupError
 from repro.core.reader import PCRReader
+from repro.obs import MetricsRegistry
 from repro.serving import protocol
 from repro.serving.protocol import (
     DEFAULT_MAX_PAYLOAD_BYTES,
@@ -48,9 +51,11 @@ from repro.serving.protocol import (
     MSG_BATCH_DATA,
     MSG_DATASET_META,
     MSG_GET_INDEX,
+    MSG_GET_METRICS,
     MSG_GET_RECORD,
     MSG_INDEX_DATA,
     MSG_META_DATA,
+    MSG_METRICS_DATA,
     MSG_RECORD_DATA,
     MSG_STAT,
     MSG_STAT_DATA,
@@ -60,6 +65,8 @@ from repro.serving.protocol import (
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 DEFAULT_BACKPRESSURE_BYTES = 8 * 1024 * 1024
 LISTEN_BACKLOG = 1024
+
+LOOP_HISTOGRAM_NAME = "serving.loop.iteration_seconds"
 
 _RECV_BYTES = 256 * 1024
 
@@ -108,13 +115,25 @@ class ScanPrefixCache:
     event loop is the only reader and writer, so the hit/miss/bytes
     counters stay coherent without one.  Threaded embedders (and
     ``n_loops > 1`` servers) keep ``thread_safe=True``.
+
+    The cache also publishes its counters as ``serving.cache.*`` metrics
+    on a :class:`~repro.obs.MetricsRegistry` (the embedding server's, or a
+    private one for standalone caches).  The hot path touches only the
+    plain attributes it always did — the registry counters are brought up
+    to date lazily by :meth:`sync_registry`, which every scrape
+    (``GET_METRICS``) calls — so instrumentation adds nothing to the
+    per-lookup cost.
     """
 
     def __init__(
-        self, capacity_bytes: int = DEFAULT_CACHE_BYTES, thread_safe: bool = True
+        self,
+        capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        thread_safe: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.capacity_bytes = capacity_bytes
         self.thread_safe = thread_safe
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock() if thread_safe else _NullLock()
@@ -122,9 +141,28 @@ class ScanPrefixCache:
         self.prefix_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bytes_served = 0
         self.hits_by_group: dict[int, int] = {}
         self.misses_by_group: dict[int, int] = {}
         self.bytes_served_by_group: dict[int, int] = {}
+
+    def sync_registry(self) -> None:
+        """Bring the ``serving.cache.*`` registry counters up to date.
+
+        Counters are monotonic on both sides, so folding in the difference
+        makes the registry exact as of this call without the hot path ever
+        touching a metric lock.
+        """
+        registry = self.registry
+        for name, total in (
+            ("serving.cache.exact_hits_total", self.exact_hits),
+            ("serving.cache.prefix_hits_total", self.prefix_hits),
+            ("serving.cache.misses_total", self.misses),
+            ("serving.cache.evictions_total", self.evictions),
+            ("serving.cache.bytes_served_total", self.bytes_served),
+        ):
+            counter = registry.counter(name)
+            counter.inc(total - counter.value)
 
     def get(self, record_name: str, scan_group: int, length: int):
         """Return a view of the first ``length`` bytes, or ``None`` on miss.
@@ -146,6 +184,7 @@ class ScanPrefixCache:
                 self.exact_hits += 1
             else:
                 self.prefix_hits += 1
+            self.bytes_served += length
             self.hits_by_group[scan_group] = self.hits_by_group.get(scan_group, 0) + 1
             self.bytes_served_by_group[scan_group] = (
                 self.bytes_served_by_group.get(scan_group, 0) + length
@@ -219,6 +258,8 @@ class _Connection:
         "paused",
         "interest",
         "open",
+        "bytes_received",
+        "bytes_sent",
     )
 
     def __init__(self, sock: socket.socket, max_payload: int) -> None:
@@ -231,6 +272,8 @@ class _Connection:
         self.paused = False
         self.interest = selectors.EVENT_READ
         self.open = True
+        self.bytes_received = 0
+        self.bytes_sent = 0
 
     def queue(self, segments) -> None:
         """Append response buffer segments to the pending gather list."""
@@ -266,13 +309,62 @@ class _EventLoop:
         self.pending: deque[socket.socket] = deque()
         self.pending_lock = threading.Lock()
         self.thread: threading.Thread | None = None
+        # Hot-path counters are plain attributes — this loop's thread is the
+        # only writer, so they cost one integer add and stay exact.  Scrapes
+        # fold them into the server registry via _sync_registry().  The
+        # iteration-latency histogram accumulates the same way: plain bucket
+        # counts bumped per wakeup, merged into the registry at scrape time.
         self.accepted = 0
         self.closed = 0
         self.backpressure_pauses = 0
+        self.backpressure_resumes = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self.iter_edges = server.registry.histogram(LOOP_HISTOGRAM_NAME).edges
+        self.iter_counts = [0] * (len(self.iter_edges) + 1)
+        self.iter_sum = 0.0
+        self.iter_count = 0
+        # What has already been folded into the registry histogram; the
+        # scrape thread (under the server's sync lock) is the only writer.
+        self._iter_synced_counts = [0] * (len(self.iter_edges) + 1)
+        self._iter_synced_sum = 0.0
+        self._iter_synced_count = 0
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
         self.selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+
+    def sync_iteration_histogram(self) -> None:
+        """Fold iteration timings recorded since the last sync into the
+        registry histogram.  Called under the server's sync lock; the loop
+        thread may observe concurrently, so reads are snapshotted first and
+        anything racing in lands in the next sync.
+        """
+        if not self.server.registry.enabled:
+            return  # merge() would drop the delta but the shadows would advance
+        count = self.iter_count
+        delta_count = count - self._iter_synced_count
+        if not delta_count:
+            return
+        counts = list(self.iter_counts)
+        total = self.iter_sum
+        self.server.registry.merge(
+            {
+                "histograms": {
+                    LOOP_HISTOGRAM_NAME: {
+                        "edges": list(self.iter_edges),
+                        "counts": [
+                            n - p for n, p in zip(counts, self._iter_synced_counts)
+                        ],
+                        "sum": total - self._iter_synced_sum,
+                        "count": delta_count,
+                    }
+                }
+            }
+        )
+        self._iter_synced_counts = counts
+        self._iter_synced_sum = total
+        self._iter_synced_count = count
 
     # -- cross-thread signalling ---------------------------------------------
 
@@ -292,21 +384,35 @@ class _EventLoop:
 
     def run(self) -> None:
         stop = self.server._stop_event
+        registry = self.server.registry
+        perf_counter = time.perf_counter
+        iter_edges = self.iter_edges
+        iter_counts = self.iter_counts  # mutated in place; sync copies it
         try:
             while not stop.is_set():
                 events = self.selector.select(timeout=0.2)
-                for key, mask in events:
-                    data = key.data
-                    if data == "wake":
-                        self._drain_wake()
-                    elif data == "listener":
-                        self._accept_ready()
-                    else:
-                        conn: _Connection = data
-                        if mask & selectors.EVENT_WRITE and conn.open:
-                            self._flush(conn)
-                        if mask & selectors.EVENT_READ and conn.open:
-                            self._read(conn)
+                if events:
+                    # Idle selector timeouts are not timed: the histogram
+                    # measures how long the loop spends servicing ready
+                    # sockets, not how long it sleeps waiting for them.
+                    iteration_start = perf_counter() if registry._enabled else 0.0
+                    for key, mask in events:
+                        data = key.data
+                        if data == "wake":
+                            self._drain_wake()
+                        elif data == "listener":
+                            self._accept_ready()
+                        else:
+                            conn: _Connection = data
+                            if mask & selectors.EVENT_WRITE and conn.open:
+                                self._flush(conn)
+                            if mask & selectors.EVENT_READ and conn.open:
+                                self._read(conn)
+                    if iteration_start:
+                        elapsed = perf_counter() - iteration_start
+                        iter_counts[bisect_left(iter_edges, elapsed)] += 1
+                        self.iter_sum += elapsed
+                        self.iter_count += 1
                 self._admit_pending()
         finally:
             self._teardown()
@@ -389,7 +495,10 @@ class _EventLoop:
         except OSError:
             self._close(conn)
             return
-        if not data:
+        if data:
+            conn.bytes_received += len(data)
+            self.bytes_received += len(data)
+        else:
             if conn.assembler.mid_frame:
                 # Mirror the blocking read_frame contract: EOF inside a
                 # frame is a malformed stream, answered before closing.
@@ -451,6 +560,8 @@ class _EventLoop:
             if n_sent == 0:
                 break
             conn.consume(n_sent)
+            conn.bytes_sent += n_sent
+            self.bytes_sent += n_sent
         if not out:
             if conn.close_after_flush:
                 self._close(conn)
@@ -458,6 +569,7 @@ class _EventLoop:
             self._set_interest(conn, selectors.EVENT_READ)
             if conn.paused:
                 conn.paused = False
+                self.backpressure_resumes += 1
         else:
             interest = selectors.EVENT_WRITE
             high_water = self.server.backpressure_bytes
@@ -467,6 +579,7 @@ class _EventLoop:
                     self.backpressure_pauses += 1
             elif conn.paused and conn.out_bytes <= high_water // 2:
                 conn.paused = False
+                self.backpressure_resumes += 1
             if not conn.paused and not conn.close_after_flush:
                 interest |= selectors.EVENT_READ
             self._set_interest(conn, interest)
@@ -525,6 +638,7 @@ class PCRRecordServer:
         n_loops: int = 1,
         backpressure_bytes: int = DEFAULT_BACKPRESSURE_BYTES,
         socket_buffer_bytes: int | None = None,
+        metrics_enabled: bool = True,
     ) -> None:
         if isinstance(dataset, (str, Path, os.PathLike)):
             self.reader = PCRReader(dataset, decode=False)
@@ -541,14 +655,24 @@ class PCRRecordServer:
         self.n_loops = n_loops
         self.backpressure_bytes = backpressure_bytes
         self.socket_buffer_bytes = socket_buffer_bytes
+        # Per-instance registry, not the process default: cluster tests run
+        # many replicas in one process and each replica's GET_METRICS must
+        # report only its own traffic.
+        self.registry = MetricsRegistry(enabled=metrics_enabled)
         # The single-threaded loop is the cache's only reader/writer, so it
         # runs lock-free; multiple loops re-enable the lock.
         self.cache = ScanPrefixCache(
-            capacity_bytes=cache_bytes, thread_safe=(n_loops > 1)
+            capacity_bytes=cache_bytes,
+            thread_safe=(n_loops > 1),
+            registry=self.registry,
         )
-        self.requests_by_type: dict[int, int] = {}
-        self.errors = 0
-        self._counter_lock = threading.Lock()
+        # Request/error counts live in plain fields — the same shape the
+        # pre-registry server kept — and are folded into `serving.*` registry
+        # counters at scrape time by _sync_registry(), so the dispatch path
+        # never takes a metric lock.
+        self._requests_by_type: dict[int, int] = {}
+        self._errors = 0
+        self._sync_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._started = False
         self._stopped = False
@@ -678,8 +802,8 @@ class PCRRecordServer:
         response frame — the event loop hands them to ``sendmsg`` as-is,
         so cache bytes reach the socket without an intermediate copy.
         """
-        with self._counter_lock:
-            self.requests_by_type[msg_type] = self.requests_by_type.get(msg_type, 0) + 1
+        requests = self._requests_by_type
+        requests[msg_type] = requests.get(msg_type, 0) + 1
         try:
             if msg_type == MSG_GET_RECORD:
                 request = protocol.unpack_record_request(payload)
@@ -707,6 +831,14 @@ class PCRRecordServer:
                 ]
             if msg_type == MSG_BATCH:
                 return self._batch_segments(payload)
+            if msg_type == MSG_GET_METRICS:
+                return [
+                    protocol.encode_frame(
+                        MSG_METRICS_DATA,
+                        protocol.pack_json(self.metrics_snapshot()),
+                        self.max_payload,
+                    )
+                ]
             return [
                 self._error(
                     protocol.ERR_UNSUPPORTED, f"unknown request type 0x{msg_type:02x}"
@@ -773,8 +905,7 @@ class PCRRecordServer:
         ]
 
     def _error(self, code: int, message: str) -> bytes:
-        with self._counter_lock:
-            self.errors += 1
+        self._errors += 1
         return protocol.error_frame(code, message)
 
     # -- serving -------------------------------------------------------------
@@ -804,16 +935,82 @@ class PCRRecordServer:
             "max_payload_bytes": self.max_payload,
         }
 
+    @property
+    def requests_by_type(self) -> dict[int, int]:
+        """Request counts per message type."""
+        return dict(self._requests_by_type)
+
+    @property
+    def errors(self) -> int:
+        """Total error responses."""
+        return self._errors
+
+    def _sync_registry(self) -> None:
+        """Fold the event loops' plain hot-path counters into the registry.
+
+        Each loop thread is the sole writer of its own totals and every
+        total is monotonic, so summing across loops and folding in the
+        difference yields an exact registry as of this call — without the
+        per-request path paying for a metric lock.  The sync lock keeps
+        concurrent scrapes from folding the same difference twice.
+        """
+        with self._sync_lock:
+            self.cache.sync_registry()
+            registry = self.registry
+            loops = self._loops
+            for name, total in (
+                ("serving.bytes_received_total", sum(l.bytes_received for l in loops)),
+                ("serving.bytes_sent_total", sum(l.bytes_sent for l in loops)),
+                ("serving.connections.accepted_total", sum(l.accepted for l in loops)),
+                ("serving.connections.closed_total", sum(l.closed for l in loops)),
+                (
+                    "serving.backpressure.pauses_total",
+                    sum(l.backpressure_pauses for l in loops),
+                ),
+                (
+                    "serving.backpressure.resumes_total",
+                    sum(l.backpressure_resumes for l in loops),
+                ),
+            ):
+                counter = registry.counter(name)
+                counter.inc(total - counter.value)
+            for msg_type, total in self._requests_by_type.items():
+                name = protocol.MESSAGE_NAMES.get(msg_type, f"op_0x{msg_type:02x}")
+                counter = registry.counter(f"serving.requests.{name}_total")
+                counter.inc(total - counter.value)
+            errors = registry.counter("serving.errors_total")
+            errors.inc(self._errors - errors.value)
+            for loop in loops:
+                loop.sync_iteration_histogram()
+
+    def metrics_snapshot(self) -> dict:
+        """The ``GET_METRICS`` response body: one registry snapshot.
+
+        Counters kept as plain event-loop attributes and gauges that
+        describe current state (cache size, open connections) are refreshed
+        at scrape time, so the snapshot is self-contained — a scraper needs
+        no second round-trip to ``STAT``.
+        """
+        registry = self.registry
+        self._sync_registry()
+        registry.gauge("serving.cache.entries").set(len(self.cache))
+        registry.gauge("serving.cache.cached_bytes").set(self.cache.cached_bytes)
+        registry.gauge("serving.connections.open").set(self.open_connections)
+        return {
+            "address": list(self.address),
+            "pid": os.getpid(),
+            "metrics_enabled": registry.enabled,
+            "registry": registry.snapshot(),
+        }
+
     def stats(self) -> dict:
         """Aggregate serving statistics (also the ``STAT`` response body)."""
-        with self._counter_lock:
-            requests = dict(self.requests_by_type)
-            errors = self.errors
+        requests = self.requests_by_type
         return {
             "address": list(self.address),
             "requests_by_type": {f"0x{t:02x}": n for t, n in sorted(requests.items())},
             "n_requests": sum(requests.values()),
-            "errors": errors,
+            "errors": self.errors,
             "reader_bytes_read": self.reader.stats.bytes_read,
             "reader_records_read": self.reader.stats.records_read,
             "cache": self.cache.stats(),

@@ -1,8 +1,28 @@
-"""I/O accounting shared by the simulated storage components."""
+"""I/O accounting shared by the simulated storage components.
+
+``IOStats`` keeps its per-instance fields (each simulated device owns one
+and the simulators read them directly), but every recorded operation also
+lands on the shared :mod:`repro.obs` registry — ``storage.*_total``
+counters and a ``storage.op_latency_seconds`` histogram — so storage
+activity shows up in the same snapshot schema as loader, decode, and
+serving telemetry.  :meth:`IOStats.reset` zeroes only the instance fields;
+the registry totals are monotonic, process-wide aggregates.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs import get_registry
+
+_registry = get_registry()
+_M_READ_OPS = _registry.counter("storage.read_ops_total")
+_M_BYTES_READ = _registry.counter("storage.bytes_read_total")
+_M_WRITE_OPS = _registry.counter("storage.write_ops_total")
+_M_BYTES_WRITTEN = _registry.counter("storage.bytes_written_total")
+_M_SEEKS = _registry.counter("storage.seeks_total")
+_M_BUSY_SECONDS = _registry.counter("storage.busy_seconds_total")
+_M_OP_LATENCY = _registry.histogram("storage.op_latency_seconds")
 
 
 @dataclass
@@ -25,6 +45,11 @@ class IOStats:
         self.per_op_latencies.append(latency)
         if seek:
             self.seeks += 1
+            _M_SEEKS.inc()
+        _M_READ_OPS.inc()
+        _M_BYTES_READ.inc(n_bytes)
+        _M_BUSY_SECONDS.inc(latency)
+        _M_OP_LATENCY.observe(latency)
 
     def record_write(self, n_bytes: int, latency: float, seek: bool) -> None:
         """Account one write operation."""
@@ -34,6 +59,11 @@ class IOStats:
         self.per_op_latencies.append(latency)
         if seek:
             self.seeks += 1
+            _M_SEEKS.inc()
+        _M_WRITE_OPS.inc()
+        _M_BYTES_WRITTEN.inc(n_bytes)
+        _M_BUSY_SECONDS.inc(latency)
+        _M_OP_LATENCY.observe(latency)
 
     @property
     def mean_latency(self) -> float:
@@ -49,7 +79,7 @@ class IOStats:
         return self.bytes_read / self.busy_seconds
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all instance counters (registry totals stay monotonic)."""
         self.read_ops = 0
         self.bytes_read = 0
         self.write_ops = 0

@@ -1,0 +1,438 @@
+"""Tests for the metrics registry, span tracer, and their wiring.
+
+Covers the registry primitives (bucket edges, snapshot algebra), the
+tracer (nesting, ordering, ring buffer, Chrome export), the StallTracker
+facade, the loader's per-batch spans, fork-aware worker aggregation
+parity, the ``GET_METRICS`` wire op, and cluster-wide scraping with dead
+replicas.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    diff_snapshots,
+    get_registry,
+    get_tracer,
+    merge_snapshots,
+)
+from repro.pipeline.loader import DataLoader, LoaderConfig
+from repro.pipeline.stall import StallTracker
+from repro.serving.client import PCRClient
+from repro.serving.cluster.coordinator import ClusterCoordinator
+from repro.serving.server import PCRRecordServer
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestRegistry:
+    def test_counter_accumulates(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_metric_creation_is_idempotent(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_type_name_collision_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_gauge_set_and_inc(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 9
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 0
+        assert snapshot["gauges"]["g"] == 0
+        assert snapshot["histograms"]["h"]["count"] == 0
+
+    def test_disabled_registry_overhead_smoke(self):
+        # The disabled path is a single branch; even a pessimistic bound
+        # catches accidental lock acquisition or dict lookups sneaking in.
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        start = time.perf_counter()
+        for _ in range(200_000):
+            counter.inc()
+        elapsed = time.perf_counter() - start
+        assert counter.value == 0
+        assert elapsed < 1.0
+
+    def test_set_enabled_toggles(self, registry):
+        counter = registry.counter("c")
+        registry.set_enabled(False)
+        counter.inc()
+        registry.set_enabled(True)
+        counter.inc()
+        assert counter.value == 1
+
+    def test_reset_zeroes_but_keeps_objects(self, registry):
+        counter = registry.counter("c")
+        counter.inc(3)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper(self, registry):
+        histogram = registry.histogram("h", edges=(1.0, 2.0))
+        histogram.observe(0.5)  # bucket 0: v <= 1.0
+        histogram.observe(1.0)  # bucket 0: inclusive upper edge
+        histogram.observe(1.5)  # bucket 1: 1.0 < v <= 2.0
+        histogram.observe(2.0)  # bucket 1: inclusive upper edge
+        histogram.observe(99.0)  # overflow bucket
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 99.0)
+
+    def test_overflow_bucket_always_present(self, registry):
+        histogram = registry.histogram("h")
+        assert len(histogram.counts) == len(DEFAULT_TIME_BUCKETS) + 1
+        histogram.observe(1e9)
+        assert histogram.counts[-1] == 1
+
+    def test_unsorted_edges_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("dup", edges=(1.0, 1.0))
+
+    def test_mismatched_edges_on_reregistration_raise(self, registry):
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+    def test_mean(self, registry):
+        histogram = registry.histogram("h", edges=(10.0,))
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+
+class TestSnapshotAlgebra:
+    def test_diff_subtracts_counters_and_histograms(self, registry):
+        registry.counter("c").inc(3)
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+        old = registry.snapshot()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(9)
+        registry.histogram("h", edges=(1.0,)).observe(5.0)
+        delta = diff_snapshots(registry.snapshot(), old)
+        assert delta["counters"] == {"c": 2}
+        assert delta["gauges"]["g"] == 9  # gauges keep the new level
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(5.0)
+
+    def test_diff_drops_unchanged_metrics(self, registry):
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        delta = diff_snapshots(snapshot, snapshot)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_folds_delta_into_registry(self, registry):
+        registry.counter("c").inc(1)
+        registry.merge(
+            {
+                "counters": {"c": 4, "new": 2},
+                "gauges": {"g": 3},
+                "histograms": {
+                    "h": {"edges": [1.0], "counts": [1, 2], "sum": 5.0, "count": 3}
+                },
+            }
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["counters"]["new"] == 2
+        assert snapshot["gauges"]["g"] == 3
+        assert snapshot["histograms"]["h"]["counts"] == [1, 2]
+
+    def test_merge_snapshots_adds_everything(self, registry):
+        a = {
+            "counters": {"c": 1},
+            "gauges": {"g": 2},
+            "histograms": {"h": {"edges": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}},
+        }
+        b = {
+            "counters": {"c": 2, "d": 7},
+            "gauges": {"g": 3},
+            "histograms": {"h": {"edges": [1.0], "counts": [0, 2], "sum": 9.0, "count": 2}},
+        }
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == {"c": 3, "d": 7}
+        assert merged["gauges"] == {"g": 5}
+        assert merged["histograms"]["h"]["counts"] == [1, 2]
+        assert merged["histograms"]["h"]["count"] == 3
+
+    def test_merge_snapshots_rejects_mismatched_edges(self):
+        a = {"histograms": {"h": {"edges": [1.0], "counts": [0, 0], "sum": 0, "count": 0}}}
+        b = {"histograms": {"h": {"edges": [2.0], "counts": [0, 0], "sum": 0, "count": 0}}}
+        with pytest.raises(ValueError):
+            merge_snapshots([a, b])
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.add_event("b", 0.0, 1.0)
+        assert len(tracer) == 0
+
+    def test_nesting_records_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("outer.inner"):
+                pass
+        inner, outer = tracer.events()  # completion order: inner exits first
+        assert inner.name == "outer.inner"
+        assert inner.parent == "outer"
+        assert outer.parent is None
+
+    def test_chrome_export_ordering_and_schema(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("phase.a", {"k": 1}):
+            with tracer.span("phase.b"):
+                pass
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["phase.a", "phase.b"]  # sorted by ts
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        assert events[0]["cat"] == "phase"
+        assert events[0]["args"]["k"] == 1
+        assert events[1]["args"]["parent"] == "phase.a"
+
+    def test_ring_buffer_keeps_most_recent(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for index in range(10):
+            tracer.add_event(f"e{index}", float(index), 0.1)
+        names = [event.name for event in tracer.events()]
+        assert names == ["e6", "e7", "e8", "e9"]
+
+    def test_nesting_interval_containment(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("outer.inner"):
+                time.sleep(0.001)
+        inner, outer = tracer.events()
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+
+class TestStallTrackerFacade:
+    def test_lists_and_registry_agree(self):
+        registry = MetricsRegistry()
+        tracker = StallTracker(registry=registry)
+        tracker.record_wait(0.5)
+        tracker.record_wait(0.0001)
+        tracker.record_compute(0.25)
+        assert tracker.wait_seconds == [0.5, 0.0001]
+        assert tracker.total_wait == pytest.approx(0.5001)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["loader.wait_seconds_total"] == pytest.approx(0.5001)
+        assert snapshot["counters"]["loader.compute_seconds_total"] == pytest.approx(0.25)
+        assert snapshot["counters"]["loader.stalled_iterations_total"] == 1
+        assert snapshot["histograms"]["loader.wait_seconds"]["count"] == 2
+
+
+class TestLoaderTracing:
+    def test_epoch_trace_reproduces_stall_timeline(self, pcr_dataset, tmp_path):
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.set_enabled(True)
+        try:
+            loader = DataLoader(
+                pcr_dataset, LoaderConfig(batch_size=8, n_workers=1, shuffle=False)
+            )
+            try:
+                batches = list(loader.epoch())
+            finally:
+                loader.close()
+            events = tracer.events()
+            path = tracer.export_chrome(tmp_path / "epoch.json")
+        finally:
+            tracer.set_enabled(False)
+            tracer.clear()
+        assert batches
+        by_name: dict[str, list] = {}
+        for event in events:
+            by_name.setdefault(event.name, []).append(event)
+        # The per-batch span set the tentpole promises.
+        for name in ("loader.wait", "loader.fetch", "loader.decode", "loader.collate"):
+            assert by_name.get(name), f"missing {name} spans"
+        # loader.wait spans ARE the stall timeline: same count, same values,
+        # in the same order, because both sides are fed from one measurement.
+        waits = [event.duration for event in by_name["loader.wait"]]
+        assert waits == loader.stalls.wait_seconds
+        assert len(by_name["loader.collate"]) == len(batches)
+        # The export is valid Chrome trace JSON, sorted by timestamp.
+        document = json.loads(path.read_text())
+        timestamps = [event["ts"] for event in document["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+        assert {event["ph"] for event in document["traceEvents"]} == {"X"}
+
+    def test_epoch_counts_batches_on_registry(self, pcr_dataset):
+        registry = get_registry()
+        before = registry.snapshot()
+        loader = DataLoader(pcr_dataset, LoaderConfig(batch_size=8, n_workers=1))
+        try:
+            n_batches = len(list(loader.epoch()))
+        finally:
+            loader.close()
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"]["loader.batches_total"] == n_batches
+        assert delta["counters"]["loader.wait_seconds_total"] == pytest.approx(
+            loader.stalls.total_wait
+        )
+
+
+class TestForkAwareAggregation:
+    def _decode_delta(self, dataset, decode_workers: int) -> dict:
+        registry = get_registry()
+        before = registry.snapshot()
+        loader = DataLoader(
+            dataset,
+            LoaderConfig(batch_size=8, n_workers=1, seed=11, decode_workers=decode_workers),
+        )
+        try:
+            list(loader.epoch())
+        finally:
+            loader.close()
+        return diff_snapshots(registry.snapshot(), before)
+
+    def test_worker_metrics_match_in_process(self, pcr_dataset):
+        """decode_workers=2 must aggregate the same decode totals as 0."""
+        in_process = self._decode_delta(pcr_dataset, 0)
+        parallel = self._decode_delta(pcr_dataset, 2)
+        for name in ("decode.streams_total", "decode.bytes_total"):
+            assert parallel["counters"].get(name) == in_process["counters"].get(name), name
+        assert in_process["counters"]["decode.streams_total"] > 0
+
+
+@pytest.fixture()
+def obs_server(pcr_dataset):
+    with PCRRecordServer(pcr_dataset.reader.directory, port=0) as running:
+        yield running
+
+
+class TestGetMetricsWireOp:
+    def test_round_trip_against_live_server(self, obs_server, pcr_dataset):
+        with PCRClient(port=obs_server.port) as client:
+            name = pcr_dataset.record_names[0]
+            client.get_record_bytes(name, 1)
+            client.get_record_bytes(name, 1)
+            report = client.metrics()
+        assert report["metrics_enabled"] is True
+        assert tuple(report["address"]) == obs_server.address
+        counters = report["registry"]["counters"]
+        assert counters["serving.requests.get_record_total"] == 2
+        assert counters["serving.requests.get_metrics_total"] == 1
+        assert counters["serving.cache.misses_total"] == 1
+        assert counters["serving.cache.exact_hits_total"] == 1
+        assert counters["serving.bytes_received_total"] > 0
+        assert counters["serving.bytes_sent_total"] > 0
+        histograms = report["registry"]["histograms"]
+        assert histograms["serving.loop.iteration_seconds"]["count"] > 0
+        gauges = report["registry"]["gauges"]
+        assert gauges["serving.cache.entries"] == 1
+
+    def test_snapshot_matches_stat_counters(self, obs_server, pcr_dataset):
+        with PCRClient(port=obs_server.port) as client:
+            client.get_record_bytes(pcr_dataset.record_names[0], 1)
+            stat = client.stat()
+            report = client.metrics()
+        counters = report["registry"]["counters"]
+        cache = stat["cache"]
+        assert counters["serving.cache.misses_total"] == cache["misses"]
+        assert counters["serving.cache.exact_hits_total"] == cache["exact_hits"]
+        assert stat["requests_by_type"]["0x01"] == counters[
+            "serving.requests.get_record_total"
+        ]
+
+    def test_disabled_server_reports_disabled(self, pcr_dataset):
+        with PCRRecordServer(
+            pcr_dataset.reader.directory, port=0, metrics_enabled=False
+        ) as server:
+            with PCRClient(port=server.port) as client:
+                client.get_record_bytes(pcr_dataset.record_names[0], 1)
+                report = client.metrics()
+        assert report["metrics_enabled"] is False
+        assert report["registry"]["counters"]["serving.errors_total"] == 0
+
+
+class TestClusterScraping:
+    def test_cluster_stats_merges_live_replicas(self, pcr_dataset):
+        directory = pcr_dataset.reader.directory
+        with ClusterCoordinator(directory, n_shards=2, n_replicas=1) as coordinator:
+            report = coordinator.cluster_stats()
+            assert report["live_replicas"] == 2
+            assert report["total_replicas"] == 2
+            assert all(r["status"] == "up" for r in report["replicas"].values())
+            merged = report["merged"]["counters"]
+            # Each replica answered exactly one GET_METRICS scrape.
+            assert merged["serving.requests.get_metrics_total"] == 2
+
+    def test_dead_replica_reported_down_not_raised(self, pcr_dataset):
+        directory = pcr_dataset.reader.directory
+        with ClusterCoordinator(directory, n_shards=2, n_replicas=1) as coordinator:
+            victim = coordinator.live_replicas()[0]
+            coordinator.stop_replica(victim.shard_id, 0)
+            report = coordinator.cluster_stats(timeout=1.0)
+            assert report["live_replicas"] == 1
+            assert report["total_replicas"] == 2
+            statuses = sorted(r["status"] for r in report["replicas"].values())
+            assert statuses == ["down", "up"]
+            down = next(
+                r for r in report["replicas"].values() if r["status"] == "down"
+            )
+            assert "error" in down
+            # The in-process stats sweep tolerates the dead replica too.
+            stats = coordinator.stats()
+            assert stats["cluster"]["live_replicas"] == 1
+
+
+class TestStorageMetrics:
+    def test_io_stats_mirror_onto_registry(self):
+        from repro.storage.io_stats import IOStats
+
+        registry = get_registry()
+        before = registry.snapshot()
+        stats = IOStats()
+        stats.record_read(1024, 0.002, seek=True)
+        stats.record_write(256, 0.001, seek=False)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"]["storage.read_ops_total"] == 1
+        assert delta["counters"]["storage.bytes_read_total"] == 1024
+        assert delta["counters"]["storage.write_ops_total"] == 1
+        assert delta["counters"]["storage.seeks_total"] == 1
+        assert delta["histograms"]["storage.op_latency_seconds"]["count"] == 2
+        assert stats.read_ops == 1  # the instance view is unchanged
