@@ -1,0 +1,46 @@
+"""``repro.control`` — online adaptive-fidelity serving (closing §4.5's loop).
+
+The offline controllers of :mod:`repro.tuning` choose scan groups by
+probing a local loader; this package closes the same loop *online*, over
+the live telemetry plane built by :mod:`repro.obs` and the serving wire:
+
+* :mod:`repro.control.telemetry` — the loop's data: per-client telemetry
+  reports, scan-group hints, and the server-side store they meet in;
+* :mod:`repro.control.policy` — pluggable decision cores (stall-target
+  AIMD with hysteresis + cooldown, bandwidth-budget fitting);
+* :mod:`repro.control.controller` — the ``FidelityController`` thread and
+  the server/cluster control planes it steers through;
+* :mod:`repro.control.adaptive_source` — the loader-side wrapper that
+  reports telemetry at fetch boundaries and applies hints through
+  ``set_scan_group``.
+
+See ``docs/autotune.md`` for the loop's semantics and the benchmark keys.
+"""
+
+from repro.control.adaptive_source import AdaptiveScanGroupSource
+from repro.control.controller import (
+    ClusterControlPlane,
+    FidelityController,
+    ServerControlPlane,
+)
+from repro.control.policy import (
+    BandwidthBudgetPolicy,
+    ClientControlState,
+    ControlDecision,
+    StallTargetPolicy,
+)
+from repro.control.telemetry import ClientTelemetry, ScanGroupHint, TelemetryStore
+
+__all__ = [
+    "AdaptiveScanGroupSource",
+    "BandwidthBudgetPolicy",
+    "ClientControlState",
+    "ClientTelemetry",
+    "ClusterControlPlane",
+    "ControlDecision",
+    "FidelityController",
+    "ScanGroupHint",
+    "ServerControlPlane",
+    "StallTargetPolicy",
+    "TelemetryStore",
+]

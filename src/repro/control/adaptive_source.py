@@ -1,0 +1,276 @@
+"""Loader-side half of the control loop: report telemetry, apply hints.
+
+``AdaptiveScanGroupSource`` wraps any remote record source
+(:class:`~repro.serving.remote_source.RemoteRecordSource`, the sharded
+variant, or anything exposing the same ``read_record``/``set_scan_group``
+surface) and closes the loop from the client side:
+
+* at fetch boundaries, once per reporting window, it ships a
+  :class:`~repro.control.telemetry.ClientTelemetry` report — the loader's
+  stall split (from the bound :class:`~repro.pipeline.stall.StallTracker`),
+  the window's byte/record/sample deltas, and the per-group bytes/sample
+  profile from the first record index it sees — on the ``REPORT_TELEMETRY``
+  wire op;
+* the hint riding the ack is applied through the wrapped source's existing
+  ``set_scan_group``, i.e. exactly at a batch boundary: the fetch that
+  triggered the report completes at the old fidelity, every subsequent
+  fetch runs at the steered one.
+
+An optional :class:`~repro.pipeline.stall.BandwidthThrottle` models a
+capped network link for experiments and the autotune benchmark: fetched
+bytes are charged against the cap *in the worker thread*, so the induced
+delay surfaces in the loader's own stall tracker the same way a slow real
+link would.
+
+``DataLoader.epoch()`` binds its stall tracker automatically when the
+source exposes :meth:`bind_stall_tracker`, so wiring is one line::
+
+    source = AdaptiveScanGroupSource(RemoteRecordSource(port=server.port))
+    loader = DataLoader(source, config)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+
+from repro.control.telemetry import ClientTelemetry, ScanGroupHint
+from repro.obs import get_registry
+from repro.pipeline.stall import StallTracker
+
+DEFAULT_REPORT_INTERVAL_SECONDS = 0.25
+
+
+class AdaptiveScanGroupSource:
+    """A remote source that reports telemetry and follows scan-group hints."""
+
+    def __init__(
+        self,
+        source,
+        client_id: str | None = None,
+        report_interval: float = DEFAULT_REPORT_INTERVAL_SECONDS,
+        throttle=None,
+        auto_apply: bool = True,
+    ) -> None:
+        self.source = source
+        self.client_id = (
+            client_id if client_id is not None else f"loader-{uuid.uuid4().hex[:8]}"
+        )
+        self.report_interval = report_interval
+        self.throttle = throttle
+        #: When False, hints are surfaced on :attr:`last_hint` but not applied
+        #: — the "controller off" arm of the benchmark still reports.
+        self.auto_apply = auto_apply
+        self.stalls: StallTracker | None = None
+        self.last_hint: ScanGroupHint | None = None
+        self.reports_sent = 0
+        self.hints_applied = 0
+        self._report_lock = threading.Lock()
+        self._throttle_lock = threading.Lock()
+        self._throttle_charged = 0
+        self._window_started = time.monotonic()
+        self._window_base = self._usage_totals()
+        self._bytes_per_sample: dict[int, float] | None = None
+
+    # -- delegation: the DataLoader-facing source surface ---------------------
+
+    @property
+    def record_names(self):
+        return self.source.record_names
+
+    @property
+    def n_groups(self) -> int:
+        return self.source.n_groups
+
+    @property
+    def n_samples(self) -> int:
+        return self.source.n_samples
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    @property
+    def dataset_meta(self):
+        return self.source.dataset_meta
+
+    @property
+    def stats(self):
+        return self.source.stats
+
+    @property
+    def scan_group(self) -> int:
+        return self.source.scan_group
+
+    def set_scan_group(self, scan_group: int) -> None:
+        self.source.set_scan_group(scan_group)
+
+    def set_decode_pool(self, pool) -> None:
+        self.source.set_decode_pool(pool)
+
+    def record_index(self, record_name: str):
+        return self.source.record_index(record_name)
+
+    def bytes_for_group(self, record_name: str, scan_group: int) -> int:
+        return self.source.bytes_for_group(record_name, scan_group)
+
+    def epoch_bytes(self) -> int:
+        return self.source.epoch_bytes()
+
+    def __iter__(self):
+        for record_name in self.record_names:
+            yield from self.read_record(record_name)
+
+    # -- the loop's client side ----------------------------------------------
+
+    def bind_stall_tracker(self, stalls: StallTracker) -> None:
+        """Adopt the loader's stall tracker as the telemetry's wait/compute
+        source.  ``DataLoader.epoch()`` calls this automatically."""
+        self.stalls = stalls
+
+    def read_record(self, record_name: str, decode: bool | None = None):
+        samples = self.source.read_record(record_name, decode=decode)
+        self._after_fetch()
+        return samples
+
+    def read_record_batch(self, record_names, decode: bool | None = None):
+        out = self.source.read_record_batch(record_names, decode=decode)
+        self._after_fetch()
+        return out
+
+    def _usage_totals(self) -> tuple[int, int, int, float, float]:
+        stats = self.source.stats
+        stalls = self.stalls
+        return (
+            stats.bytes_read,
+            stats.records_read,
+            stats.samples_decoded,
+            stalls.total_wait if stalls is not None else 0.0,
+            stalls.total_compute if stalls is not None else 0.0,
+        )
+
+    def _after_fetch(self) -> None:
+        if self.throttle is not None:
+            # Charge this fetch's bytes against the simulated link in the
+            # calling (worker) thread: the sleep shows up as loader wait,
+            # exactly like a saturated real link.
+            total = self.source.stats.bytes_read
+            with self._throttle_lock:
+                delta = total - self._throttle_charged
+                self._throttle_charged = total
+            if delta > 0:
+                self.throttle.charge(delta)
+        self._maybe_report()
+
+    def _maybe_report(self) -> None:
+        now = time.monotonic()
+        if now - self._window_started < self.report_interval:
+            return
+        # One reporter at a time; concurrent workers skip instead of queueing
+        # behind the round trip.
+        if not self._report_lock.acquire(blocking=False):
+            return
+        try:
+            now = time.monotonic()
+            window = now - self._window_started
+            if window < self.report_interval:
+                return
+            base = self._window_base
+            current = self._usage_totals()
+            self._window_started = now
+            self._window_base = current
+            telemetry = ClientTelemetry(
+                client_id=self.client_id,
+                scan_group=self.source.scan_group,
+                n_groups=self.source.n_groups,
+                window_seconds=window,
+                wait_seconds=max(0.0, current[3] - base[3]),
+                compute_seconds=max(0.0, current[4] - base[4]),
+                bytes_read=current[0] - base[0],
+                records_read=current[1] - base[1],
+                samples=current[2] - base[2],
+                bytes_per_sample_by_group=self._group_byte_profile(),
+            )
+            self.report_now(telemetry)
+        finally:
+            self._report_lock.release()
+
+    def report_now(self, telemetry: ClientTelemetry | None = None) -> ScanGroupHint | None:
+        """Ship one report immediately and apply any hint that comes back.
+
+        With ``telemetry=None`` a report is synthesized from the totals
+        accumulated since the last window (used by tests and the benchmark
+        to force a report at an exact point in the workload).
+        """
+        if telemetry is None:
+            base = self._window_base
+            current = self._usage_totals()
+            now = time.monotonic()
+            window = max(now - self._window_started, 1e-9)
+            self._window_started = now
+            self._window_base = current
+            telemetry = ClientTelemetry(
+                client_id=self.client_id,
+                scan_group=self.source.scan_group,
+                n_groups=self.source.n_groups,
+                window_seconds=window,
+                wait_seconds=max(0.0, current[3] - base[3]),
+                compute_seconds=max(0.0, current[4] - base[4]),
+                bytes_read=current[0] - base[0],
+                records_read=current[1] - base[1],
+                samples=current[2] - base[2],
+                bytes_per_sample_by_group=self._group_byte_profile(),
+            )
+        try:
+            ack = self.source.client.report_telemetry(telemetry.to_payload())
+        except Exception:
+            # Telemetry is best-effort: a dead or pre-control server must
+            # never fail the fetch path that triggered the report.
+            get_registry().counter("loader.telemetry.report_errors_total").inc()
+            return None
+        self.reports_sent += 1
+        registry = get_registry()
+        registry.counter("loader.telemetry.reports_total").inc()
+        hint_payload = ack.get("hint") if isinstance(ack, dict) else None
+        if not hint_payload:
+            return None
+        hint = ScanGroupHint.from_payload(hint_payload)
+        self.last_hint = hint
+        registry.counter("loader.telemetry.hints_received_total").inc()
+        if self.auto_apply and hint.scan_group != self.source.scan_group:
+            self.source.set_scan_group(hint.scan_group)
+            self.hints_applied += 1
+            registry.counter("loader.telemetry.hints_applied_total").inc()
+        return hint
+
+    def _group_byte_profile(self) -> dict[int, float]:
+        """Mean bytes/sample at every scan group, from the first record index.
+
+        PCR records in one dataset share their group geometry, so one
+        index is a faithful per-group cost model for the whole dataset.
+        """
+        if self._bytes_per_sample is None:
+            names = self.record_names
+            if not names:
+                return {}
+            try:
+                index = self.source.record_index(names[0])
+            except Exception:
+                return {}
+            n_samples = max(1, index.n_samples)
+            self._bytes_per_sample = {
+                group: index.bytes_for_group(group) / n_samples
+                for group in range(1, self.source.n_groups + 1)
+            }
+        return self._bytes_per_sample
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.source.close()
+
+    def __enter__(self) -> "AdaptiveScanGroupSource":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

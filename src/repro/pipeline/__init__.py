@@ -17,9 +17,10 @@ from repro.pipeline.augment import (
 from repro.pipeline.batch import Minibatch, collate
 from repro.pipeline.loader import DataLoader, LoaderConfig
 from repro.pipeline.sampler import SequentialSampler, ShuffleSampler
-from repro.pipeline.stall import StallTracker
+from repro.pipeline.stall import BandwidthThrottle, StallTracker
 
 __all__ = [
+    "BandwidthThrottle",
     "CenterCrop",
     "Compose",
     "DataLoader",

@@ -86,6 +86,12 @@ class DataLoader:
         shared-memory slabs outlive an interrupted run.
         """
         self._ensure_decode_pool()
+        # Adaptive sources (repro.control.AdaptiveScanGroupSource) report the
+        # loader's stall split as telemetry; hand them the tracker so their
+        # reports and our Figure-11 series come from the same measurements.
+        bind = getattr(self.dataset, "bind_stall_tracker", None)
+        if bind is not None:
+            bind(self.stalls)
         record_names = self.dataset.record_names
         sampler = (
             ShuffleSampler(record_names, seed=int(self._rng.integers(0, 2**31)))

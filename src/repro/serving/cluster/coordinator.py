@@ -81,6 +81,7 @@ class ClusterCoordinator:
         self._replicas: dict[tuple[str, int], _ManagedReplica] = {}
         self._assignment: dict[str, list[str]] = {}
         self._shard_map: ShardMap | None = None
+        self._controller = None
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -139,6 +140,9 @@ class ClusterCoordinator:
 
     def stop(self) -> None:
         """Stop every replica and close every reader."""
+        if self._controller is not None:
+            self._controller.stop()
+            self._controller = None
         self._stop_all()
         self._started = False
 
@@ -210,6 +214,34 @@ class ClusterCoordinator:
         for (owner, replica_index) in list(self._replicas):
             if owner == shard_id:
                 self.restart_replica(shard_id, replica_index)
+
+    # -- control loop ----------------------------------------------------------
+
+    @property
+    def controller(self):
+        """The attached fleet-wide :class:`FidelityController` (or None)."""
+        return self._controller
+
+    def start_controller(
+        self, policy=None, interval: float | None = None, auto_start: bool = True
+    ):
+        """Attach (and by default start) a fleet-wide fidelity controller.
+
+        The controller merges telemetry across every live replica, publishes
+        its hints to all of them (a client reports to whichever shard it
+        reaches), and scrapes its fleet snapshots through the same
+        ``GET_METRICS``/merge path :meth:`cluster_stats` uses.
+        """
+        if self._controller is not None:
+            raise RuntimeError("controller already attached")
+        from repro.control.controller import ClusterControlPlane, FidelityController
+
+        kwargs = {} if interval is None else {"interval": interval}
+        controller = FidelityController(ClusterControlPlane(self), policy, **kwargs)
+        self._controller = controller
+        if auto_start:
+            controller.start()
+        return controller
 
     # -- reporting -------------------------------------------------------------
 

@@ -7,10 +7,10 @@ Every message on the wire is one *frame*::
     | 2 B   | 1 B     | 1 B  | 4 B (LE)       | <length> B    |
     +-------+---------+------+----------------+---------------+
 
-Requests carry structured binary payloads (``struct``-packed, names UTF-8);
-responses carry either raw record bytes (``RECORD_DATA``), UTF-8 JSON
-(``INDEX_DATA`` / ``STAT_DATA`` / ``META_DATA`` / ``METRICS_DATA``), a
-concatenation of
+Requests carry structured binary payloads (``struct``-packed, names UTF-8;
+``REPORT_TELEMETRY`` carries UTF-8 JSON); responses carry either raw record
+bytes (``RECORD_DATA``), UTF-8 JSON (``INDEX_DATA`` / ``STAT_DATA`` /
+``META_DATA`` / ``METRICS_DATA`` / ``TELEMETRY_ACK``), a concatenation of
 complete sub-frames (``BATCH_DATA``, one per pipelined sub-request), or a
 structured error frame (``ERROR``: error code + UTF-8 message).
 
@@ -45,6 +45,7 @@ MSG_STAT = 0x03
 MSG_DATASET_META = 0x04
 MSG_BATCH = 0x05
 MSG_GET_METRICS = 0x06
+MSG_REPORT_TELEMETRY = 0x07
 
 MSG_RECORD_DATA = 0x81
 MSG_INDEX_DATA = 0x82
@@ -52,10 +53,19 @@ MSG_STAT_DATA = 0x83
 MSG_META_DATA = 0x84
 MSG_BATCH_DATA = 0x85
 MSG_METRICS_DATA = 0x86
+MSG_TELEMETRY_ACK = 0x87
 MSG_ERROR = 0xFF
 
 REQUEST_TYPES = frozenset(
-    {MSG_GET_RECORD, MSG_GET_INDEX, MSG_STAT, MSG_DATASET_META, MSG_BATCH, MSG_GET_METRICS}
+    {
+        MSG_GET_RECORD,
+        MSG_GET_INDEX,
+        MSG_STAT,
+        MSG_DATASET_META,
+        MSG_BATCH,
+        MSG_GET_METRICS,
+        MSG_REPORT_TELEMETRY,
+    }
 )
 
 #: Mnemonic names for request types — also the suffixes of the server's
@@ -67,6 +77,7 @@ MESSAGE_NAMES = {
     MSG_DATASET_META: "dataset_meta",
     MSG_BATCH: "batch",
     MSG_GET_METRICS: "get_metrics",
+    MSG_REPORT_TELEMETRY: "report_telemetry",
 }
 
 # -- error codes --------------------------------------------------------------

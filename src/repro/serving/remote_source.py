@@ -25,7 +25,7 @@ from repro.core.reader import (
     assemble_samples_batch,
     validate_scan_group,
 )
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 from repro.serving.client import DEFAULT_POOL_SIZE, PCRClient
 
 
@@ -63,6 +63,7 @@ class RemoteRecordSource:
         self._indexes: dict[str, RecordIndex] = {}
         self._lock = threading.Lock()
         self.stats = ReadStats()
+        get_registry().gauge("serving.client.scan_group").set(self._scan_group)
 
     def set_decode_pool(self, pool) -> None:
         """Decode fetched records through a :class:`~repro.codecs.parallel.DecodePool`.
@@ -106,9 +107,21 @@ class RemoteRecordSource:
         return self._scan_group
 
     def set_scan_group(self, scan_group: int) -> None:
-        """Retarget the fidelity of every subsequent fetch (no reconnect)."""
+        """Retarget the fidelity of every subsequent fetch (no reconnect).
+
+        Every actual switch is visible in snapshots: the current target is
+        a ``serving.client.scan_group`` gauge and each mid-run change bumps
+        ``serving.client.scan_group_switches_total`` on the default
+        registry — so a controller-driven (or manual) fidelity change shows
+        up next to the loader/stall metrics it affects.
+        """
         self._validate_group(scan_group)
+        changed = scan_group != self._scan_group
         self._scan_group = scan_group
+        registry = get_registry()
+        registry.gauge("serving.client.scan_group").set(scan_group)
+        if changed:
+            registry.counter("serving.client.scan_group_switches_total").inc()
 
     def _validate_group(self, scan_group: int) -> None:
         validate_scan_group(scan_group, self.n_groups)

@@ -41,6 +41,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.control.telemetry import ClientTelemetry, TelemetryStore
 from repro.core.errors import PCRError, ScanGroupError
 from repro.core.reader import PCRReader
 from repro.obs import MetricsRegistry
@@ -57,8 +58,10 @@ from repro.serving.protocol import (
     MSG_META_DATA,
     MSG_METRICS_DATA,
     MSG_RECORD_DATA,
+    MSG_REPORT_TELEMETRY,
     MSG_STAT,
     MSG_STAT_DATA,
+    MSG_TELEMETRY_ACK,
     ProtocolError,
 )
 
@@ -142,9 +145,17 @@ class ScanPrefixCache:
         self.misses = 0
         self.evictions = 0
         self.bytes_served = 0
+        self.admissions = 0
+        self.bias_skips = 0
         self.hits_by_group: dict[int, int] = {}
         self.misses_by_group: dict[int, int] = {}
         self.bytes_served_by_group: dict[int, int] = {}
+        self.admissions_by_group: dict[int, int] = {}
+        self.evictions_by_group: dict[int, int] = {}
+        # The fidelity controller's steer: admission of groups *above* the
+        # fleet's steered set is skipped once the cache is under pressure.
+        self._admission_bias: frozenset[int] | None = None
+        self._bias_ceiling = 0
 
     def sync_registry(self) -> None:
         """Bring the ``serving.cache.*`` registry counters up to date.
@@ -160,9 +171,23 @@ class ScanPrefixCache:
             ("serving.cache.misses_total", self.misses),
             ("serving.cache.evictions_total", self.evictions),
             ("serving.cache.bytes_served_total", self.bytes_served),
+            ("serving.cache.admissions_total", self.admissions),
+            ("serving.cache.bias_skips_total", self.bias_skips),
         ):
             counter = registry.counter(name)
             counter.inc(total - counter.value)
+        for suffix, by_group in (
+            ("hits_total", self.hits_by_group),
+            ("misses_total", self.misses_by_group),
+            ("bytes_served_total", self.bytes_served_by_group),
+            ("admissions_total", self.admissions_by_group),
+            ("evictions_total", self.evictions_by_group),
+        ):
+            # list() snapshots the dict: the event-loop thread may be adding
+            # a first-seen group concurrently.
+            for group, total in list(by_group.items()):
+                counter = registry.counter(f"serving.cache.group.{group}.{suffix}")
+                counter.inc(total - counter.value)
 
     def get(self, record_name: str, scan_group: int, length: int):
         """Return a view of the first ``length`` bytes, or ``None`` on miss.
@@ -193,12 +218,38 @@ class ScanPrefixCache:
                 return entry.data
             return entry.view[:length]
 
+    def set_admission_bias(self, groups: set[int] | None) -> None:
+        """Bias admission toward the fleet's steered scan groups.
+
+        With a bias set, a prefix read at a group *above* every steered
+        group is not admitted once the cache is past half occupancy: when
+        the controller has steered the fleet down, high-fidelity prefixes
+        nobody is fetching any more must not evict the short prefixes the
+        fleet now lives on.  Prefix containment makes admitting *smaller*
+        groups always safe, so only the upward direction is gated.  Pass
+        ``None`` to clear the bias.
+        """
+        with self._lock:
+            if groups:
+                self._admission_bias = frozenset(groups)
+                self._bias_ceiling = max(groups)
+            else:
+                self._admission_bias = None
+                self._bias_ceiling = 0
+
     def put(self, record_name: str, scan_group: int, data: bytes) -> None:
         """Cache a record prefix read at ``scan_group`` (longest prefix wins)."""
         if len(data) > self.capacity_bytes:
             return
         data = bytes(data)
         with self._lock:
+            if (
+                self._admission_bias is not None
+                and scan_group > self._bias_ceiling
+                and self._bytes * 2 >= self.capacity_bytes
+            ):
+                self.bias_skips += 1
+                return
             existing = self._entries.get(record_name)
             if existing is not None:
                 if existing.scan_group >= scan_group:
@@ -210,10 +261,17 @@ class ScanPrefixCache:
             )
             self._entries.move_to_end(record_name)
             self._bytes += len(data)
+            self.admissions += 1
+            self.admissions_by_group[scan_group] = (
+                self.admissions_by_group.get(scan_group, 0) + 1
+            )
             while self._bytes > self.capacity_bytes and len(self._entries) > 1:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes -= len(evicted.data)
                 self.evictions += 1
+                self.evictions_by_group[evicted.scan_group] = (
+                    self.evictions_by_group.get(evicted.scan_group, 0) + 1
+                )
 
     @property
     def cached_bytes(self) -> int:
@@ -235,12 +293,23 @@ class ScanPrefixCache:
                 "prefix_hits": self.prefix_hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "admissions": self.admissions,
+                "bias_skips": self.bias_skips,
+                "admission_bias": sorted(self._admission_bias)
+                if self._admission_bias is not None
+                else None,
                 "hit_rate": hits / lookups if lookups else 0.0,
                 "prefix_hit_rate": self.prefix_hits / lookups if lookups else 0.0,
                 "hits_by_group": {str(g): n for g, n in sorted(self.hits_by_group.items())},
                 "misses_by_group": {str(g): n for g, n in sorted(self.misses_by_group.items())},
                 "bytes_served_by_group": {
                     str(g): n for g, n in sorted(self.bytes_served_by_group.items())
+                },
+                "admissions_by_group": {
+                    str(g): n for g, n in sorted(self.admissions_by_group.items())
+                },
+                "evictions_by_group": {
+                    str(g): n for g, n in sorted(self.evictions_by_group.items())
                 },
             }
 
@@ -672,6 +741,12 @@ class PCRRecordServer:
         # never takes a metric lock.
         self._requests_by_type: dict[int, int] = {}
         self._errors = 0
+        # The meeting point of the control loop: REPORT_TELEMETRY frames
+        # land here, the fidelity controller (if started) reads them and
+        # writes hints back.  Always present — a server without a controller
+        # still accepts reports and acks with no hint.
+        self.telemetry = TelemetryStore()
+        self._controller = None
         self._sync_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._started = False
@@ -764,6 +839,8 @@ class PCRRecordServer:
         if self._stopped:
             return
         self._stopped = True
+        if self._controller is not None:
+            self._controller.stop()
         self._stop_event.set()
         for loop in self._loops:
             loop.wake()
@@ -831,6 +908,14 @@ class PCRRecordServer:
                 ]
             if msg_type == MSG_BATCH:
                 return self._batch_segments(payload)
+            if msg_type == MSG_REPORT_TELEMETRY:
+                return [
+                    protocol.encode_frame(
+                        MSG_TELEMETRY_ACK,
+                        protocol.pack_json(self._handle_telemetry(payload)),
+                        self.max_payload,
+                    )
+                ]
             if msg_type == MSG_GET_METRICS:
                 return [
                     protocol.encode_frame(
@@ -908,6 +993,52 @@ class PCRRecordServer:
         self._errors += 1
         return protocol.error_frame(code, message)
 
+    def _handle_telemetry(self, payload: bytes) -> dict:
+        """One ``REPORT_TELEMETRY`` frame: store the report, return the ack.
+
+        The ack piggybacks the controller's current hint for the reporting
+        client (if any), so the report round trip *is* the hint delivery —
+        no extra poll op on the wire.
+        """
+        try:
+            telemetry = ClientTelemetry.from_payload(protocol.unpack_json(payload))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed telemetry report: {exc}") from exc
+        hint = self.telemetry.update(telemetry)
+        return {
+            "controller_active": self._controller is not None,
+            "hint": hint.to_payload() if hint is not None else None,
+        }
+
+    # -- control loop --------------------------------------------------------
+
+    @property
+    def controller(self):
+        """The attached :class:`~repro.control.FidelityController` (or None)."""
+        return self._controller
+
+    def start_controller(
+        self, policy=None, interval: float | None = None, auto_start: bool = True
+    ):
+        """Attach (and by default start) a fidelity controller on this server.
+
+        The controller steers every client that reports telemetry to this
+        server; its decisions and rationale appear as ``control.*`` metrics
+        in this server's ``GET_METRICS`` snapshots.  ``auto_start=False``
+        attaches without spawning the thread, for callers that drive
+        :meth:`~repro.control.FidelityController.step` themselves.
+        """
+        if self._controller is not None:
+            raise RuntimeError("controller already attached")
+        from repro.control.controller import FidelityController, ServerControlPlane
+
+        kwargs = {} if interval is None else {"interval": interval}
+        controller = FidelityController(ServerControlPlane(self), policy, **kwargs)
+        self._controller = controller
+        if auto_start:
+            controller.start()
+        return controller
+
     # -- serving -------------------------------------------------------------
 
     def serve_record_bytes(self, record_name: str, scan_group: int):
@@ -980,6 +1111,10 @@ class PCRRecordServer:
                 counter.inc(total - counter.value)
             errors = registry.counter("serving.errors_total")
             errors.inc(self._errors - errors.value)
+            reports = registry.counter("serving.telemetry.reports_total")
+            reports.inc(self.telemetry.reports_received - reports.value)
+            hints = registry.counter("serving.telemetry.hints_served_total")
+            hints.inc(self.telemetry.hints_served - hints.value)
             for loop in loops:
                 loop.sync_iteration_histogram()
 
@@ -996,6 +1131,7 @@ class PCRRecordServer:
         registry.gauge("serving.cache.entries").set(len(self.cache))
         registry.gauge("serving.cache.cached_bytes").set(self.cache.cached_bytes)
         registry.gauge("serving.connections.open").set(self.open_connections)
+        registry.gauge("serving.telemetry.clients").set(len(self.telemetry))
         return {
             "address": list(self.address),
             "pid": os.getpid(),
