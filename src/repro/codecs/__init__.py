@@ -11,11 +11,14 @@ equivalent, self-contained codec:
 * :mod:`repro.codecs.bitio` / :mod:`repro.codecs.huffman` /
   :mod:`repro.codecs.rle` — entropy coding (run-length symbols + canonical
   Huffman codes).
-* :mod:`repro.codecs.fastpath` — the vectorized entropy fast path (two-level
-  LUT Huffman decode, word-buffered bit I/O, batched scan assembly), gated by
-  :mod:`repro.codecs.config`.  Read ``repro.codecs.FASTPATH`` for the current
-  setting; flip it with :func:`set_fastpath` or the :func:`use_fastpath`
-  context manager.  See ``docs/performance.md``.
+* :mod:`repro.codecs.fastpath` — the vectorized entropy fast path
+  (superscalar 16-bit-window pair-LUT Huffman decode with a two-level
+  single-symbol fallback tier, word-buffered bit I/O, batched scan
+  assembly), gated by :mod:`repro.codecs.config`.  Read
+  ``repro.codecs.FASTPATH`` / ``repro.codecs.SUPERSCALAR`` for the current
+  settings; flip them with :func:`set_fastpath` / :func:`set_superscalar`
+  or the :func:`use_fastpath` / :func:`use_superscalar` context managers.
+  See ``docs/performance.md``.
 * :mod:`repro.codecs.pixelpath` — the batched float32 pixel-domain fast path
   (fused dequantize+IDCT scaled bases, strided block merge, single-matmul
   colour conversion, scratch-buffer reuse for minibatch decodes), gated by
@@ -35,7 +38,14 @@ equivalent, self-contained codec:
 
 from repro.codecs import config as _config
 from repro.codecs.baseline import BaselineCodec
-from repro.codecs.config import fastpath_enabled, set_fastpath, use_fastpath
+from repro.codecs.config import (
+    fastpath_enabled,
+    set_fastpath,
+    set_superscalar,
+    superscalar_enabled,
+    use_fastpath,
+    use_superscalar,
+)
 from repro.codecs.image import ImageBuffer
 from repro.codecs.parallel import DecodePool, DecodePoolStats
 from repro.codecs.progressive import (
@@ -46,10 +56,11 @@ from repro.codecs.progressive import (
 from repro.codecs.quantization import QuantizationTables
 from repro.codecs.transcode import transcode_to_progressive
 
-# NOTE: FASTPATH is deliberately not in __all__ — `from repro.codecs import
-# FASTPATH` would snapshot the bool at import time and go stale after
-# set_fastpath()/use_fastpath().  Read `repro.codecs.FASTPATH` (attribute
-# access, served live by __getattr__) or call fastpath_enabled() instead.
+# NOTE: FASTPATH / SUPERSCALAR are deliberately not in __all__ — `from
+# repro.codecs import FASTPATH` would snapshot the bool at import time and
+# go stale after set_fastpath()/use_fastpath().  Read `repro.codecs.FASTPATH`
+# (attribute access, served live by __getattr__) or call the *_enabled()
+# helpers instead.
 __all__ = [
     "BaselineCodec",
     "DecodePool",
@@ -61,14 +72,20 @@ __all__ = [
     "decode_progressive_batch",
     "fastpath_enabled",
     "set_fastpath",
+    "set_superscalar",
+    "superscalar_enabled",
     "transcode_to_progressive",
     "use_fastpath",
+    "use_superscalar",
 ]
 
 
 def __getattr__(name: str):
-    # ``repro.codecs.FASTPATH`` always reflects the live toggle in
-    # ``repro.codecs.config`` (assign via ``set_fastpath``, not this alias).
+    # ``repro.codecs.FASTPATH`` / ``.SUPERSCALAR`` always reflect the live
+    # toggles in ``repro.codecs.config`` (assign via the setters, not these
+    # aliases).
     if name == "FASTPATH":
         return _config.FASTPATH
+    if name == "SUPERSCALAR":
+        return _config.SUPERSCALAR
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,4 @@
-"""Runtime toggle for the vectorized codec fast paths.
+"""Runtime toggles for the vectorized codec fast paths.
 
 ``FASTPATH`` gates both the table-driven entropy coder in
 :mod:`repro.codecs.fastpath` and the batched float32 pixel pipeline in
@@ -7,6 +7,15 @@ variable ``REPRO_CODEC_FASTPATH=0`` (before import) or call
 :func:`set_fastpath` / :func:`use_fastpath` to fall back to the scalar
 reference implementations (per-symbol entropy loops, float64 per-stage
 pixel reconstruction), which are kept for differential testing.
+
+``SUPERSCALAR`` selects, *within* the entropy fast path, the multi-symbol
+decode loops driven by the wide-window pair LUT (one probe resolves up
+to two complete ``(code, magnitude)`` symbols — see
+``docs/performance.md``).  It defaults to on and only matters while
+``FASTPATH`` is on; disabling it (``REPRO_CODEC_SUPERSCALAR=0`` or
+:func:`set_superscalar` / :func:`use_superscalar`) falls back to the
+single-symbol two-level LUT loops, which remain the mid-tier differential
+reference between the scalar coder and the superscalar loops.
 """
 
 from __future__ import annotations
@@ -14,12 +23,14 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-FASTPATH: bool = os.environ.get("REPRO_CODEC_FASTPATH", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "1").lower() not in ("0", "false", "no", "off")
+
+
+FASTPATH: bool = _env_flag("REPRO_CODEC_FASTPATH")
+
+SUPERSCALAR: bool = _env_flag("REPRO_CODEC_SUPERSCALAR")
 
 
 def fastpath_enabled() -> bool:
@@ -43,3 +54,26 @@ def use_fastpath(enabled: bool):
         yield
     finally:
         FASTPATH = previous
+
+
+def superscalar_enabled() -> bool:
+    """Return whether the superscalar entropy decode loops are enabled."""
+    return SUPERSCALAR
+
+
+def set_superscalar(enabled: bool) -> None:
+    """Enable or disable the superscalar entropy decode loops globally."""
+    global SUPERSCALAR
+    SUPERSCALAR = bool(enabled)
+
+
+@contextmanager
+def use_superscalar(enabled: bool):
+    """Temporarily force the superscalar loops on or off within a block."""
+    global SUPERSCALAR
+    previous = SUPERSCALAR
+    SUPERSCALAR = bool(enabled)
+    try:
+        yield
+    finally:
+        SUPERSCALAR = previous

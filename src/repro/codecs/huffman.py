@@ -16,53 +16,187 @@ Decoding has two implementations over the same tables:
   levels always suffice).  Entries pack ``(code_length << 8) | symbol``; 0
   marks an invalid prefix, negative values point at a secondary table.
 
-LUTs and encode arrays are cached per canonical table content (module-level,
-bounded), so decoding many scans/records that share a table — or re-decoding
-the same record — never rebuilds them.
+A third decode flavour sits on top of the two-level tables: the
+*superscalar* pair LUT, a table indexed by the next 16 stream bits whose
+entries fully decode up to **two** complete ``(code, magnitude)`` symbols —
+including the signed coefficient value, since the magnitude bits are part of
+the window the table is indexed by.  See :func:`_build_super_tables` for the
+entry packing and ``docs/performance.md`` for the decode loops built on it.
+
+LUTs and encode arrays are cached per canonical table content
+(module-level), and deserialized tables per serialized payload.  Both caches
+are LRU with an approximate byte budget — superscalar pair tables are an
+order of magnitude larger than the two-level set (1 MiB vs ~100 KiB), so
+the bound is expressed in bytes, not entries — and export
+``codec.table_cache.*`` hit/miss/evict/byte metrics on the default
+:mod:`repro.obs` registry.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
+import os
 import struct
 import threading
-from collections import Counter
+from array import array
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 from repro.codecs.bitio import BitReader, BitWriter
+from repro.obs import get_registry
 
 MAX_CODE_LENGTH = 16
 
 #: Width of the primary decode LUT index.
 LUT_BITS = 8
 
-#: Bound on the module-level LUT/encode-array caches (FIFO eviction).
-_CACHE_MAX_ENTRIES = 1024
+#: Width of the superscalar decode window: one probe of a ``1 << SUPER_BITS``
+#: entry table resolves up to two complete (code + magnitude) symbols.
+#: Tuned empirically: 13 keeps the whole working set (pair tables + walk
+#: byte table) cache-resident while still pairing ~85% of real probes;
+#: wider windows raise the pair rate a little but lose more to cache
+#: misses and table-build cost.  Any value up to ``MAX_CODE_LENGTH`` works.
+SUPER_BITS = 13
 
-#: Canonical-content key -> built decode tables (see ``_TableSet``).
-_TABLE_CACHE: dict[tuple, "_TableSet"] = {}
+#: Offset added to the signed value field of a superscalar entry so it packs
+#: as a non-negative bit field.  AC categories are a nibble (<= 15), so
+#: ``|value| <= 32767`` and the offset field is always in ``[1, 65535]``
+#: (0 is reserved for "no coefficient").  Fixed at ``1 << 15`` — it bounds
+#: magnitudes, not windows, so it must not shrink with ``SUPER_BITS``.
+SUPER_VALUE_OFFSET = 1 << 15
+
+#: Nominal resident cost of one two-level-LUT slot (8-byte list slot plus an
+#: amortized share of the int objects it references).  The byte budgets below
+#: are enforced against this estimate, not ``sys.getsizeof`` walks.
+_BYTES_PER_SLOT = 44
+
+#: Exact bytes of one full superscalar table build: the two interleaved
+#: pair tables (AC and DC flavours, ``2 << SUPER_BITS`` int32 slots each)
+#: plus the AC walk products (two ``1 << SUPER_BITS`` int32 slot arrays and
+#: one ``1 << SUPER_BITS`` byte table): ``(8 + 8 + 4 + 4 + 1) << SUPER_BITS``.
+SUPER_TABLE_NBYTES = 25 << SUPER_BITS
+
+
+class _LRUByteCache:
+    """A thread-safe LRU mapping bounded by an approximate byte budget.
+
+    Used for both module-level Huffman caches.  Every operation updates the
+    ``codec.table_cache.<name>.*`` metrics on the default obs registry:
+    ``hits_total`` / ``misses_total`` / ``evictions_total`` counters plus
+    ``bytes`` and ``entries`` gauges.  Entries whose resident cost grows
+    after insertion (lazily built superscalar tables) are re-accounted via
+    :meth:`recharge`.
+
+    Eviction removes an entry from the *cache* only; tables still referenced
+    by live :class:`HuffmanTable` objects (or by the payload cache) keep
+    their LUTs alive until those references die.
+    """
+
+    def __init__(self, name: str, max_bytes: int) -> None:
+        self.name = name
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._bytes = 0
+
+    # Metrics are resolved per call rather than cached: registry lookups are
+    # idempotent and this path runs once per scan, not per symbol.
+    def _count(self, event: str, amount: int = 1) -> None:
+        get_registry().counter(
+            f"codec.table_cache.{self.name}.{event}_total"
+        ).inc(amount)
+
+    def _sync_gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge(f"codec.table_cache.{self.name}.bytes").set(self._bytes)
+        registry.gauge(f"codec.table_cache.{self.name}.entries").set(
+            len(self._entries)
+        )
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._count("misses")
+                return None
+            self._entries.move_to_end(key)
+        self._count("hits")
+        return entry[0]
+
+    def put(self, key, value, nbytes: int) -> None:
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            self._entries[key] = (value, int(nbytes))
+            self._bytes += int(nbytes)
+            evicted = self._evict_over_budget()
+            self._sync_gauges()
+        if evicted:
+            self._count("evictions", evicted)
+
+    def recharge(self, key, delta: int) -> None:
+        """Grow an entry's accounted size in place (lazy superscalar build).
+
+        A key evicted between the build and this call is simply ignored —
+        the built tables stay alive on the table object that triggered the
+        build, they are just no longer pinned by the cache.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            self._entries[key] = (entry[0], entry[1] + int(delta))
+            self._entries.move_to_end(key)
+            self._bytes += int(delta)
+            evicted = self._evict_over_budget()
+            self._sync_gauges()
+        if evicted:
+            self._count("evictions", evicted)
+
+    def _evict_over_budget(self) -> int:
+        # Always keep the most recent entry, even when it alone exceeds the
+        # budget: the caller is about to use it.
+        evicted = 0
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, (_, freed) = self._entries.popitem(last=False)
+            self._bytes -= freed
+            evicted += 1
+        return evicted
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._sync_gauges()
+
+
+#: Canonical-content key -> built decode tables (see ``_TableSet``).  The
+#: budget covers the two-level LUTs at insert time plus the superscalar pair
+#: tables as they are lazily built (re-accounted via ``recharge``).
+#: Source of :attr:`_TableSet.uid` values (never reused within a process).
+_TABLE_SET_UIDS = itertools.count()
+
+_TABLE_CACHE = _LRUByteCache(
+    "luts", int(os.environ.get("REPRO_HUFFMAN_TABLE_CACHE_BYTES", 96 << 20))
+)
 
 #: Serialized-payload key -> ``(HuffmanTable, bytes_consumed)``; lets scan
 #: decoders skip deserialization *and* LUT construction when the same table
 #: bytes recur across scans, records, or repeated decodes of one stream.
-_PAYLOAD_CACHE: dict[bytes, tuple["HuffmanTable", int]] = {}
-
-#: Guards eviction+insert on the module caches: DataLoader workers decode on
-#: multiple threads, and unsynchronized evictions can race into KeyError.
-_CACHE_LOCK = threading.Lock()
-
-
-def _cache_put(cache: dict, key, value) -> None:
-    """Insert into a bounded module cache with FIFO eviction, thread-safely.
-
-    Plain ``dict`` reads are GIL-atomic; only the evict-then-insert pair
-    needs the lock.  Two threads building the same entry concurrently is
-    benign (last write wins with an equivalent value).
-    """
-    with _CACHE_LOCK:
-        if len(cache) >= _CACHE_MAX_ENTRIES:
-            cache.pop(next(iter(cache)))
-        cache[key] = value
+#: Charged with key + table-object overhead only — the LUTs a cached table
+#: references are accounted by the ``luts`` cache above.
+_PAYLOAD_CACHE = _LRUByteCache(
+    "payload", int(os.environ.get("REPRO_HUFFMAN_PAYLOAD_CACHE_BYTES", 4 << 20))
+)
 
 
 @dataclass
@@ -172,7 +306,12 @@ class HuffmanTable:
             cached = _TABLE_CACHE.get(key)
             if cached is None:
                 cached = _build_table_set(self._encode_map)
-                _cache_put(_TABLE_CACHE, key, cached)
+                # The pair tables are built lazily on first superscalar
+                # decode; re-account their cost against this entry then.
+                cached._on_super_built = lambda: _TABLE_CACHE.recharge(
+                    key, SUPER_TABLE_NBYTES
+                )
+                _TABLE_CACHE.put(key, cached, cached.nbytes())
             self._tables = cached
         return self._tables
 
@@ -239,12 +378,16 @@ class HuffmanTable:
         if len(payload) < symbols_end:
             raise ValueError("Huffman table payload truncated")
         symbols = payload[symbols_start:symbols_end]
+        if sum(counts) != n_symbols:
+            raise ValueError("Huffman table length counts disagree with symbol count")
         code_lengths: dict[int, int] = {}
         cursor = 0
         for length_minus_one, count in enumerate(counts):
             for _ in range(count):
                 code_lengths[symbols[cursor]] = length_minus_one + 1
                 cursor += 1
+        if len(code_lengths) != n_symbols:
+            raise ValueError("duplicate symbol in Huffman table payload")
         return cls(code_lengths=code_lengths), symbols_end
 
     @classmethod
@@ -265,11 +408,12 @@ class HuffmanTable:
             table, consumed = cls.from_bytes(payload)
             table._table_set()
             cached = (table, consumed)
-            _cache_put(_PAYLOAD_CACHE, key, cached)
+            # Charge the key plus nominal object overhead only: the LUTs the
+            # table references are accounted by the "luts" cache.
+            _PAYLOAD_CACHE.put(key, cached, len(key) + 512)
         return cached
 
 
-@dataclass(frozen=True)
 class _TableSet:
     """All derived decode tables for one canonical Huffman code.
 
@@ -286,14 +430,244 @@ class _TableSet:
       is the *fused* bit consumption of the code plus its magnitude bits.
     * ``dc_*`` — ``(category << 12) | (code_length + category)`` where the
       category is the full symbol value (DC deltas have no run nibble).
+
+    On top of these sit the lazily built *superscalar* pair tables
+    (:meth:`superscalar_tables`, one AC and one DC flavour):
+    ``SUPER_BITS``-bit-window LUTs whose entries fully decode up to two
+    (code + magnitude) symbols — see :func:`_build_super_tables` for the
+    packing — plus the de-interleaved AC *walk* products
+    (:meth:`walk_tables`) that drive the vectorized batch walk in
+    ``fastpath``.  They are built on the first superscalar decode of a
+    given table, not at construction, so encode-only and
+    scalar/single-symbol users never pay for them.
     """
 
-    sym_primary: list[int]
-    sym_secondary: list[list[int]]
-    ac_primary: list[int]
-    ac_secondary: list[list[int]]
-    dc_primary: list[int]
-    dc_secondary: list[list[int]]
+    __slots__ = (
+        "sym_primary",
+        "sym_secondary",
+        "ac_primary",
+        "ac_secondary",
+        "dc_primary",
+        "dc_secondary",
+        "uid",
+        "_encode_map",
+        "_super",
+        "_super_lock",
+        "_on_super_built",
+    )
+
+    def __init__(
+        self,
+        sym_primary: list[int],
+        sym_secondary: list[list[int]],
+        ac_primary: list[int],
+        ac_secondary: list[list[int]],
+        dc_primary: list[int],
+        dc_secondary: list[list[int]],
+        encode_map: dict[int, tuple[int, int]],
+    ) -> None:
+        self.sym_primary = sym_primary
+        self.sym_secondary = sym_secondary
+        self.ac_primary = ac_primary
+        self.ac_secondary = ac_secondary
+        self.dc_primary = dc_primary
+        self.dc_secondary = dc_secondary
+        self._encode_map = encode_map
+        #: Process-unique id, stable for the life of this set.  Decode-side
+        #: caches keyed on table identity (e.g. the stacked walk tables in
+        #: :mod:`repro.codecs.fastpath`) use this instead of ``id()``, which
+        #: the allocator may reuse after a cache eviction.
+        self.uid = next(_TABLE_SET_UIDS)
+        self._super = None
+        self._super_lock = threading.Lock()
+        self._on_super_built = None
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the two-level LUTs (cache charge)."""
+        n_tables = 1 + len(self.sym_secondary)
+        return 3 * n_tables * (1 << LUT_BITS) * _BYTES_PER_SLOT
+
+    def superscalar_tables(self):
+        """Return ``(ac_pair, dc_pair)``, built lazily.
+
+        Each is an interleaved ``array('i')`` of ``2 << SUPER_BITS`` packed
+        entries: for a window ``w``, slot ``2 * w`` holds the first symbol
+        and slot ``2 * w + 1`` the second — see :func:`_build_super_tables`.
+        """
+        return self._super_products()[:2]
+
+    def walk_tables(self):
+        """Return ``(slots1, slots2, pairbits)`` for the batched AC walk.
+
+        ``slots1`` / ``slots2`` are ``numpy.int32`` arrays of ``1 << SUPER_BITS``
+        entries holding the first and second packed symbol per window (the
+        de-interleaved AC pair table; ``slots1`` keeps the 0 = invalid /
+        ``-1`` = fallback sentinels).  ``pairbits`` is a ``numpy.uint8``
+        array whose entry is the *total* bit consumption of every symbol
+        that fully fits in the window — the stride of one walk step — and
+        0 where the walk must escape to the two-level path (invalid prefix
+        or oversized first code).  Built with and cached alongside the
+        pair tables.
+        """
+        return self._super_products()[2:]
+
+    def _super_products(self):
+        tables = self._super
+        if tables is None:
+            with self._super_lock:
+                tables = self._super
+                if tables is None:
+                    tables = _build_super_tables(self._encode_map)
+                    self._super = tables
+                    callback = self._on_super_built
+                    if callback is not None:
+                        callback()
+        return tables
+
+
+def _build_super_tables(encode_map: dict[int, tuple[int, int]]):
+    """Build the wide-window superscalar pair LUTs (AC and DC flavours).
+
+    Returns ``(ac_pair, dc_pair, slots1, slots2, pairbits)``.  The first two
+    are *interleaved* tables of ``2 << SUPER_BITS`` entries, one per
+    flavour.  For a window ``w`` of the next ``SUPER_BITS`` stream bits
+    (MSB-first), slot ``2 * w`` fully decodes the first symbol in the
+    window and slot ``2 * w + 1`` the symbol that follows it — nonzero only
+    when that second symbol's code + magnitude also fit in the window.  One
+    index computation (the decode loops probe ``pair[w2]`` then
+    ``pair[w2 | 1]`` with ``w2 = 2 * w``) resolves up to two complete
+    symbols, and interleaving keeps both slots on one cache line.
+
+    ``slots1`` / ``slots2`` / ``pairbits`` are the de-interleaved AC-flavour
+    walk products documented on :meth:`_TableSet.walk_tables`.
+
+    First-slot entries: ``0`` — invalid prefix (``ValueError``); ``-1`` —
+    the first symbol's code + magnitude exceed 16 bits and the decode loop
+    must fall back to the two-level path; otherwise a packed symbol.
+    Second-slot entries: ``0`` — no second symbol fit; otherwise a packed
+    symbol.  A packed symbol is ``consume | (posdelta << 5) | (voff << 12)``:
+
+    * ``consume`` (bits 0–4): fused code + magnitude bit consumption,
+      *per symbol* — the second symbol's bits are only consumed if the
+      decode loop commits it (it may belong to the next block, which the
+      table cannot know).
+    * ``posdelta`` (bits 5–11): how far the symbol advances the in-band
+      position — the zero-run *plus one* when the symbol carries a
+      coefficient.  EOB is mapped to 64 (jumps past any band) and ZRL to
+      16; a zero-category symbol with a nonzero run (the documented
+      invalid-stream divergence treatment) advances by its bare run.
+      Storing the fused advance instead of the raw run makes position
+      tracking a single unconditional add and — crucially — makes
+      ``cumsum(posdelta)`` over a whole scan's entry stream reconstruct
+      every coefficient position *after the fact*, which is what the
+      batched scan decode in :mod:`repro.codecs.fastpath` exploits.
+      Always 0 in the DC flavour.
+    * ``voff`` (bits 12–28): the decoded *signed* coefficient (AC) or DC
+      diff plus ``SUPER_VALUE_OFFSET``.  In the AC flavour 0 means "no
+      coefficient to write" (pure run: EOB / ZRL / the zero-category
+      treatment above); real values are in ``[1, 65535]`` because an
+      in-window magnitude has category <= 15.  The DC flavour always
+      stores ``diff + SUPER_VALUE_OFFSET``.
+
+    Packed symbols stay under 2**29, so every unpacking operation in the
+    decode loops runs on CPython compact (single-digit) ints — packing
+    both symbols into one wide entry was measurably *slower* because all
+    field extractions became multi-digit big-int arithmetic.  Storage is
+    ``array('i')`` (4 bytes/slot): denser than a list of int objects
+    (~512 KiB instead of ~4.6 MiB per pair table, which also keeps the
+    probe's working set cache-resident) and faster to build (one memcpy
+    from the NumPy int32 buffer instead of 131072 ``PyLong`` boxes).
+
+    Pairing is resolved in-table: the window shifted left by the first
+    symbol's consumption (zero-filled) is probed against the same table,
+    and the hit is kept only when the second symbol's consumption fits in
+    the remaining real bits — in that case the prefix property guarantees
+    the zero-filled probe resolved the true next symbol.
+
+    Built with NumPy slice fills per code (a few hundred range assignments
+    instead of ~200k Python loop iterations per flavour).
+    """
+    import numpy as np
+
+    size = 1 << SUPER_BITS
+    window = np.arange(size, dtype=np.int64)
+    tables: list[array] = []
+    for flavour in ("ac", "dc"):
+        consume = np.zeros(size, dtype=np.int64)
+        posdelta = np.zeros(size, dtype=np.int64)
+        value = np.zeros(size, dtype=np.int64)
+        valid = np.zeros(size, dtype=bool)
+        fallback = np.zeros(size, dtype=bool)
+        for symbol, (code, length) in encode_map.items():
+            if flavour == "ac":
+                if symbol == 0x00:  # EOB: jump past any band
+                    sym_run, category = 64, 0
+                elif symbol == 0xF0:  # ZRL: skip 16 zeros
+                    sym_run, category = 16, 0
+                else:
+                    sym_run, category = symbol >> 4, symbol & 0x0F
+            else:
+                sym_run, category = 0, symbol
+            if length > SUPER_BITS:
+                # The code itself overflows the window: every window whose
+                # bits are a prefix of this code (exactly one, since the
+                # code is longer) must escape to the two-level path.
+                fallback[code >> (length - SUPER_BITS)] = True
+                continue
+            span = 1 << (SUPER_BITS - length)
+            base = code << (SUPER_BITS - length)
+            window_slice = slice(base, base + span)
+            # Guard before any `1 << category` shift: DC categories are raw
+            # symbol values (up to 255) and would overflow int64.
+            if length + category > SUPER_BITS:
+                fallback[window_slice] = True
+                continue
+            consume[window_slice] = length + category
+            if flavour == "ac":
+                posdelta[window_slice] = sym_run + (1 if category else 0)
+            valid[window_slice] = True
+            if category:
+                shift = SUPER_BITS - length - category
+                magnitude = (np.arange(span, dtype=np.int64) >> shift) & (
+                    (1 << category) - 1
+                )
+                signed = np.where(
+                    magnitude >= (1 << (category - 1)),
+                    magnitude,
+                    magnitude - ((1 << category) - 1),
+                )
+                value[window_slice] = signed + SUPER_VALUE_OFFSET
+            elif flavour == "dc":
+                value[window_slice] = SUPER_VALUE_OFFSET
+        first = np.where(valid, consume | (posdelta << 5) | (value << 12), 0)
+        shifted = (window << consume) & (size - 1)
+        second = first[shifted]
+        second_consume = second & 31
+        pair = (
+            valid
+            & (second_consume > 0)
+            & (consume + second_consume <= SUPER_BITS)
+        )
+        first_entries = np.where(
+            valid, first, np.where(fallback, np.int64(-1), np.int64(0))
+        )
+        second_entries = np.where(pair, second, 0)
+        interleaved = np.empty(2 * size, dtype=np.int32)
+        interleaved[0::2] = first_entries.astype(np.int32)
+        interleaved[1::2] = second_entries.astype(np.int32)
+        tables.append(array("i", interleaved.tobytes()))
+        if flavour == "ac":
+            # Walk products: the stride of a walk step is the total bits of
+            # every symbol that fit (0 = escape), and the de-interleaved
+            # slots let the batched decode gather both symbols per probe.
+            slots1 = first_entries.astype(np.int32)
+            slots2 = second_entries.astype(np.int32)
+            pairbits = np.where(
+                pair,
+                consume + second_consume,
+                np.where(valid, consume, 0),
+            ).astype(np.uint8)
+    return tables[0], tables[1], slots1, slots2, pairbits
 
 
 def _build_table_set(encode_map: dict[int, tuple[int, int]]) -> _TableSet:
@@ -355,6 +729,10 @@ def _build_table_set(encode_map: dict[int, tuple[int, int]]) -> _TableSet:
         ac_secondary=ac_secondary,
         dc_primary=dc_primary,
         dc_secondary=dc_secondary,
+        # Copied so the cached set never aliases a table instance's mutable
+        # code map (the superscalar build may run long after that instance
+        # is gone).
+        encode_map=dict(encode_map),
     )
 
 

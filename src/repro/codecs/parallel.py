@@ -125,13 +125,31 @@ def _chunk_by_bytes(sizes: list[int], n_chunks: int) -> list[list[int]]:
 
 
 def _prewarm(quality: int) -> None:
-    """Heat the fastpath caches (Huffman LUT build path, scaled bases)."""
+    """Heat the fastpath caches (Huffman LUT build path, scaled bases).
+
+    Beyond the round-trip decode, the superscalar pair/walk tables of every
+    Huffman table in the warmup stream are built explicitly: the standard
+    quality tables recur across real streams via the payload-keyed cache
+    (``HuffmanTable.cached_from_bytes``), so a forked worker's first real
+    chunk probes warm LUTs instead of paying the ``SUPER_BITS``-wide table
+    build (milliseconds per table flavour) mid-batch.
+    """
+    from repro.codecs.huffman import HuffmanTable
+    from repro.codecs.markers import find_scan_segments
     from repro.codecs.progressive import ProgressiveCodec, decode_progressive_batch
 
     ramp = (np.arange(16 * 16 * 3, dtype=np.int64) * 7 % 256).astype(np.uint8)
     image = ImageBuffer(ramp.reshape(16, 16, 3))
     codec = ProgressiveCodec(quality=quality)
-    decode_progressive_batch([codec.encode(image)])
+    payload = codec.encode(image)
+    for segment in find_scan_segments(payload):
+        table, _ = HuffmanTable.cached_from_bytes(
+            payload[segment.payload_start : segment.end]
+        )
+        tables = table.scan_tables()
+        tables.superscalar_tables()
+        tables.walk_tables()
+    decode_progressive_batch([payload])
 
 
 def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:

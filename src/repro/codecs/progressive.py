@@ -20,7 +20,11 @@ import numpy as np
 
 from repro.codecs import config as codec_config
 from repro.codecs.bitio import BitReader, BitWriter
-from repro.codecs.fastpath import decode_scan_body_fast, encode_scan_body_fast
+from repro.codecs.fastpath import (
+    decode_scan_bodies_fast,
+    decode_scan_body_fast,
+    encode_scan_body_fast,
+)
 from repro.codecs.blocks import block_grid_shape, merge_blocks, split_into_blocks
 from repro.codecs.color import (
     rgb_to_ycbcr,
@@ -363,14 +367,22 @@ def decode_coefficients(
     Truncated streams (no EOI, or a partial final scan) decode the complete
     scans that are present — exactly the behaviour the PCR reader relies on
     when it terminates a partial read with an EOI token.
+
+    On the fast path the whole segment list is handed over at once
+    (:func:`repro.codecs.fastpath.decode_scan_bodies_fast`), letting the
+    superscalar tier amortize its vectorized scan-assembly epilogue across
+    every AC scan of the stream.
     """
     header, _ = parse_frame_header(data)
     coefficients = empty_coefficients(header)
     segments = find_scan_segments(data)
     if max_scans is not None:
         segments = segments[:max_scans]
-    for segment in segments:
-        _decode_scan_body(data, segment, coefficients)
+    if codec_config.FASTPATH:
+        decode_scan_bodies_fast(data, segments, coefficients)
+    else:
+        for segment in segments:
+            _decode_scan_body_scalar(data, segment, coefficients)
     return coefficients, len(segments)
 
 

@@ -348,3 +348,170 @@ class TestRunLengthCoding:
         write_symbols(symbols, extras, table, writer)
         reader = BitReader(writer.getvalue())
         assert read_dc_values(reader, table, len(values)) == values
+
+
+class TestSuperscalarTables:
+    """Structural invariants of the lazily built superscalar pair/walk LUTs."""
+
+    @staticmethod
+    def _table():
+        # Skewed AC-style symbol mix so the code has short and long codes.
+        symbols = (
+            [EOB_SYMBOL] * 120
+            + [0x11] * 60
+            + [0x21] * 25
+            + [0x12] * 10
+            + [ZRL_SYMBOL] * 4
+            + [0x53, 0x04, 0x81]
+        )
+        return HuffmanTable.from_symbols(symbols)
+
+    def test_pair_table_shapes(self):
+        import numpy as np
+        from repro.codecs.huffman import SUPER_BITS
+
+        tables = self._table().scan_tables()
+        ac_pair, dc_pair = tables.superscalar_tables()
+        assert len(ac_pair) == 2 << SUPER_BITS
+        assert len(dc_pair) == 2 << SUPER_BITS
+        slots1, slots2, pairbits = tables.walk_tables()
+        assert len(slots1) == len(slots2) == len(pairbits) == 1 << SUPER_BITS
+        assert slots1.dtype == np.int32
+        assert slots2.dtype == np.int32
+        assert pairbits.dtype == np.uint8
+        # The walk slots are the de-interleaved AC pair table.
+        interleaved = np.frombuffer(bytes(ac_pair), dtype=np.int32)
+        assert np.array_equal(slots1, interleaved[0::2])
+        assert np.array_equal(slots2, interleaved[1::2])
+
+    def test_pairbits_is_sum_of_fitting_consumes(self):
+        import numpy as np
+
+        slots1, slots2, pairbits = self._table().scan_tables().walk_tables()
+        valid = slots1 > 0
+        # Stride of one walk step == first consume + second consume (when a
+        # second symbol fit); escape windows (invalid prefix / fallback)
+        # must have stride 0 so the walk stalls and the scalar path takes
+        # over at exactly that bit offset.
+        expected = (slots1 & 31) + np.where(slots2 != 0, slots2 & 31, 0)
+        assert np.array_equal(pairbits[valid], expected[valid].astype(np.uint8))
+        assert not pairbits[~valid].any()
+        # A second symbol never appears without a committed first symbol,
+        # and a committed pair always fits the probe window.
+        assert not slots2[~valid].any()
+
+    def test_pair_windows_fit_in_window(self):
+        from repro.codecs.huffman import SUPER_BITS
+
+        slots1, slots2, pairbits = self._table().scan_tables().walk_tables()
+        assert int(pairbits.max()) <= SUPER_BITS
+
+    def test_deep_code_table_builds_fallback_windows(self):
+        import numpy as np
+
+        # A complete canonical code with 16-bit leaves: windows whose first
+        # code + magnitude exceed the probe width must carry the -1
+        # fallback sentinel with a zero stride, not crash the build.
+        lengths = {}
+        symbols = iter(range(1, 250))
+        for length in range(1, 15):
+            lengths[next(symbols)] = length
+        lengths[next(symbols)] = 15
+        lengths[next(symbols)] = 16
+        lengths[next(symbols)] = 16
+        table = HuffmanTable(code_lengths=lengths)
+        slots1, slots2, pairbits = table.scan_tables().walk_tables()
+        fallback = slots1 == -1
+        assert fallback.any()
+        assert not pairbits[fallback].any()
+        assert not slots2[fallback].any()
+        assert np.all(slots1[slots1 > 0] < (1 << 29))
+
+
+class TestHuffmanTableCaches:
+    """Byte-bounded LRU caches behind the table build path."""
+
+    def test_super_build_recharges_lut_cache(self):
+        from repro.codecs.huffman import SUPER_TABLE_NBYTES, _TABLE_CACHE
+        from repro.obs import get_registry
+
+        # A code-length set no other test uses, so the first build is cold.
+        table = HuffmanTable(
+            code_lengths={0x00: 1, 0xA3: 2, 0xB7: 3, 0xC9: 4, 0xD1: 4}
+        )
+        tables = table.scan_tables()
+        gauge = get_registry().gauge("codec.table_cache.luts.bytes")
+        before = gauge.value
+        assert before == _TABLE_CACHE.resident_bytes
+        tables.superscalar_tables()
+        assert gauge.value == before + SUPER_TABLE_NBYTES
+        # The lazy build runs once; further calls return the cached arrays.
+        tables.walk_tables()
+        assert gauge.value == before + SUPER_TABLE_NBYTES
+
+    def test_cached_from_bytes_hits_payload_cache(self):
+        from repro.obs import get_registry
+
+        table = HuffmanTable(
+            code_lengths={0x00: 1, 0x15: 2, 0x2A: 3, 0x3F: 4, 0x4B: 4}
+        )
+        payload = table.to_bytes()
+        registry = get_registry()
+        first, consumed = HuffmanTable.cached_from_bytes(payload + b"tail")
+        hits_before = registry.counter(
+            "codec.table_cache.payload.hits_total"
+        ).value
+        second, consumed2 = HuffmanTable.cached_from_bytes(payload)
+        assert second is first
+        assert consumed == consumed2 == len(payload)
+        assert (
+            registry.counter("codec.table_cache.payload.hits_total").value
+            == hits_before + 1
+        )
+
+    def test_lru_eviction_respects_byte_budget(self):
+        from repro.codecs.huffman import _LRUByteCache
+
+        cache = _LRUByteCache("testonly", max_bytes=100)
+        cache.put("a", 1, 40)
+        cache.put("b", 2, 40)
+        cache.put("c", 3, 40)
+        assert cache.resident_bytes <= 100
+        assert len(cache) == 2
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c") == 3
+
+    def test_lru_keeps_most_recent_even_over_budget(self):
+        from repro.codecs.huffman import _LRUByteCache
+
+        cache = _LRUByteCache("testonly", max_bytes=10)
+        cache.put("big", 1, 500)
+        assert len(cache) == 1
+        assert cache.get("big") == 1
+
+    def test_recharge_grows_accounting_and_can_evict(self):
+        from repro.codecs.huffman import _LRUByteCache
+
+        cache = _LRUByteCache("testonly", max_bytes=100)
+        cache.put("a", 1, 30)
+        cache.put("b", 2, 30)
+        cache.recharge("b", 60)
+        assert cache.resident_bytes <= 100
+        assert cache.get("a") is None  # pushed out by the recharge
+        assert cache.get("b") == 2
+        cache.recharge("missing", 10)  # evicted/unknown keys are a no-op
+        assert cache.resident_bytes == 90
+
+    def test_from_bytes_rejects_count_mismatch(self):
+        table = HuffmanTable.from_symbols([1, 2, 3, 4])
+        payload = bytearray(table.to_bytes())
+        payload[0] += 1  # claim one more symbol than the counts describe
+        with pytest.raises(ValueError):
+            HuffmanTable.from_bytes(bytes(payload) + b"\x00")
+
+    def test_from_bytes_rejects_duplicate_symbols(self):
+        table = HuffmanTable.from_symbols([1, 1, 2, 2, 3])
+        payload = bytearray(table.to_bytes())
+        payload[-1] = payload[-2]  # repeat a symbol in the symbol list
+        with pytest.raises(ValueError):
+            HuffmanTable.from_bytes(bytes(payload))

@@ -307,6 +307,147 @@ class TestScanBodyFunctions:
                 decode_coefficients(bad)
 
 
+#: The three decode tiers: scalar reference, single-symbol two-level LUT,
+#: and the superscalar pair-LUT path.
+_TIERS = (("scalar", False, True), ("single", True, False), ("super", True, True))
+
+
+def _tier_error_classes(stream: bytes) -> list[str]:
+    """Decode ``stream`` on every tier; return each tier's outcome class.
+
+    Outcomes are ``"ok"`` or the raised error's class name.  Only the
+    documented classes are caught — anything else (IndexError, TypeError)
+    propagates and fails the calling test.
+    """
+    outcomes = []
+    for _, fastpath, superscalar in _TIERS:
+        with config.use_fastpath(fastpath), config.use_superscalar(superscalar):
+            try:
+                decode_coefficients(stream)
+                outcomes.append("ok")
+            except (EOFError, ValueError) as error:
+                outcomes.append(type(error).__name__)
+    return outcomes
+
+
+class TestInvalidStreamFuzz:
+    """All three tiers must raise the *same* error class on invalid streams.
+
+    The fast tiers decode the 1-padding as data and classify defects after
+    the fact, so their raise sites carry offset-based classification
+    (``_invalid_code_error`` / ``_overflow_error`` / ``_scan_defect``) to
+    mirror the scalar reference's bit-by-bit semantics.  These tests pin
+    that contract for the three documented defect families.
+    """
+
+    @staticmethod
+    def _stream_and_segments():
+        image = make_structured_image(64, seed=3, color=True)
+        stream = ProgressiveCodec(quality=90).encode(image)
+        return stream, find_scan_segments(stream)
+
+    @staticmethod
+    def _rebuild(stream, segments, target_index, new_body):
+        from repro.codecs.markers import EOI, write_scan_segment
+        from repro.codecs.progressive import split_scans
+
+        prefix, _ = split_scans(stream)
+        out = prefix
+        for index, segment in enumerate(segments):
+            body = (
+                new_body
+                if index == target_index
+                else stream[segment.payload_start : segment.end]
+            )
+            out += write_scan_segment(segment.header, body)
+        return out + EOI
+
+    def test_truncated_mid_symbol_same_error_class(self):
+        stream, segments = self._stream_and_segments()
+        for index, segment in enumerate(segments):
+            body = stream[segment.payload_start : segment.end]
+            for cut in {len(body) - 1, len(body) - 3, len(body) // 2, 20}:
+                if cut <= 8 or cut >= len(body):
+                    continue
+                bad = self._rebuild(stream, segments, index, body[:cut])
+                outcomes = _tier_error_classes(bad)
+                assert outcomes[0] != "ok", f"scan {index} cut {cut} not defective"
+                assert outcomes[0] == outcomes[1] == outcomes[2], (
+                    f"scan {index} cut {cut}: {dict(zip([t[0] for t in _TIERS], outcomes))}"
+                )
+
+    def test_bit_flip_fuzz_same_error_class(self):
+        stream, segments = self._stream_and_segments()
+        rng = np.random.default_rng(29)
+        for index, segment in enumerate(segments):
+            body = stream[segment.payload_start : segment.end]
+            for _ in range(6):
+                position = int(rng.integers(8, len(body)))
+                flipped = bytes([body[position] ^ (1 << int(rng.integers(0, 8)))])
+                mutated = body[:position] + flipped + body[position + 1 :]
+                if b"\xff" in mutated[8:]:
+                    mutated = mutated.replace(b"\xff", b"\xfe")
+                bad = self._rebuild(stream, segments, index, mutated)
+                outcomes = _tier_error_classes(bad)
+                assert outcomes[0] == outcomes[1] == outcomes[2], (
+                    f"scan {index} flip @{position}: "
+                    f"{dict(zip([t[0] for t in _TIERS], outcomes))}"
+                )
+
+    def test_garbage_past_padding_ignored_identically(self):
+        """Trailing junk past the needed symbols is ignored by every tier."""
+        stream, segments = self._stream_and_segments()
+        baseline, _ = decode_coefficients(stream)
+        rng = np.random.default_rng(31)
+        for index, segment in enumerate(segments):
+            body = stream[segment.payload_start : segment.end]
+            junk = bytes(rng.integers(0, 255, 32, endpoint=True).astype(np.uint8))
+            junk = junk.replace(b"\xff", b"\xfe")  # keep marker parsing intact
+            padded_stream = self._rebuild(stream, segments, index, body + junk)
+            for _, fastpath, superscalar in _TIERS:
+                with config.use_fastpath(fastpath), config.use_superscalar(superscalar):
+                    decoded, _ = decode_coefficients(padded_stream)
+                for expected, actual in zip(baseline.planes, decoded.planes):
+                    assert np.array_equal(expected, actual)
+
+    def test_zero_category_nonzero_run_same_error_class(self):
+        """A zero-category symbol with a nonzero run errs identically.
+
+        The symbol (never emitted by an encoder) is crafted with a run that
+        overflows the band — the scalar reference raises at the symbol
+        itself, the fast tiers treat it as a pure zero-run, finish the
+        block, and then hit the crafted invalid prefix that follows — and
+        every tier must surface ``ValueError``.
+        """
+        from repro.codecs.bitio import BitWriter
+        from repro.codecs.huffman import HuffmanTable
+
+        stream, segments = self._stream_and_segments()
+        target = next(
+            index
+            for index, segment in enumerate(segments)
+            if segment.header.spectral_start >= 1
+        )
+        header = segments[target].header
+        band_length = header.spectral_end - header.spectral_start + 1
+        # Incomplete canonical code: 00 = EOB, 01 = (run 0, category 1),
+        # 10 = the bogus (run 5, category 0) symbol, prefix 11 invalid.
+        table = HuffmanTable(code_lengths={0x00: 2, 0x11: 2, 0x50: 2})
+        writer = BitWriter()
+        for _ in range(band_length - 1):  # coefficients up to the band edge
+            table.encode_symbol(0x11, writer)
+            writer.write_bits(1, 1)
+        table.encode_symbol(0x50, writer)  # run of 5 overflows the band
+        for _ in range(8):  # 16 in-payload bits of the invalid 11-prefix
+            writer.write_bits(0b11, 2)
+            writer.write_bits(0b01, 2)
+        payload = writer.getvalue()
+        assert b"\xff" not in payload  # must not fabricate a marker
+        bad = self._rebuild(stream, segments, target, table.to_bytes() + payload)
+        outcomes = _tier_error_classes(bad)
+        assert outcomes == ["ValueError", "ValueError", "ValueError"]
+
+
 class TestToggle:
     def test_use_fastpath_restores_state(self):
         initial = config.fastpath_enabled()
