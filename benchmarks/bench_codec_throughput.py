@@ -581,6 +581,13 @@ def run_benchmark(
             streams, stream_bytes, trials, parallel_workers, timings["fast_batch"]
         )
 
+    # Ingest direction: the batched float32 forward encode path (parity
+    # asserted within the documented budget before timing) and the
+    # EncodePool, in images/s and uncompressed pixel MB/s.
+    results["ingest_throughput"] = _ingest_section(
+        images, quality, trials, tuple(w for w in parallel_workers if w > 1) or (2,)
+    )
+
     # Observability overhead: the same minibatch decode with the metrics
     # registry enabled (the default) vs disabled.  The registry is the only
     # obs hook on this path when tracing is off (the tracer's disabled
@@ -662,6 +669,217 @@ def _parallel_section(
                 "fallback_batches": pool.stats.fallback_batches,
             }
     return section
+
+
+def _ingest_section(
+    images: list, quality: int, trials: int, pool_workers: tuple[int, ...] = (2,)
+) -> dict:
+    """`ingest_throughput` rows: forward encode, scalar vs fused vs pooled.
+
+    Parity is asserted *before* anything is timed: every fused coefficient
+    plane must sit within the documented error budget of the scalar float64
+    reference (±1 quant step, mismatch rate <= ``MAX_MISMATCH_RATE`` over
+    the workload — see :mod:`repro.codecs.encodepath`), and every
+    :class:`EncodePool` row must return streams identical to the in-process
+    fused batch.  Throughput is reported in images/s and uncompressed pixel
+    MB/s (ingest cost scales with pixels in, not stream bytes out), with the
+    interleaved best-of-N discipline of every other section.
+    """
+    import numpy as np
+
+    from repro.codecs.encodepath import MAX_MISMATCH_RATE
+    from repro.codecs.parallel import EncodePool
+    from repro.codecs.progressive import ProgressiveCodec, encode_progressive_batch
+
+    n_images = len(images)
+    pixel_bytes = sum(image.pixels.nbytes for image in images)
+
+    # -- parity gate (before timing) --------------------------------------
+    total = 0
+    mismatched = 0
+    max_delta = 0
+    for image in images:
+        with config.use_fastpath(True):
+            fast = image_to_coefficients(image, quality)
+        with config.use_fastpath(False):
+            scalar = image_to_coefficients(image, quality)
+        for fast_plane, scalar_plane in zip(fast.planes, scalar.planes):
+            delta = np.abs(fast_plane.astype(np.int64) - scalar_plane.astype(np.int64))
+            max_delta = max(max_delta, int(delta.max(initial=0)))
+            total += delta.size
+            mismatched += int(np.count_nonzero(delta))
+    mismatch_rate = mismatched / total
+    assert max_delta <= 1, "fused forward path exceeded the ±1-quant-step budget"
+    assert mismatch_rate <= MAX_MISMATCH_RATE, (
+        f"fused forward mismatch rate {mismatch_rate:.2e} exceeds budget "
+        f"{MAX_MISMATCH_RATE:.0e}"
+    )
+
+    codec = ProgressiveCodec(quality=quality)
+    with config.use_fastpath(True):
+        fused_streams = encode_progressive_batch(images, quality=quality)  # warm
+    timings = {
+        "fused_batch": float("inf"),
+        "fused_loop": float("inf"),
+        "scalar_loop": float("inf"),
+    }
+    for _ in range(trials):
+        with config.use_fastpath(True):
+            start = time.perf_counter()
+            encode_progressive_batch(images, quality=quality)
+            timings["fused_batch"] = min(
+                timings["fused_batch"], time.perf_counter() - start
+            )
+            start = time.perf_counter()
+            [codec.encode(image) for image in images]
+            timings["fused_loop"] = min(
+                timings["fused_loop"], time.perf_counter() - start
+            )
+        with config.use_fastpath(False):
+            start = time.perf_counter()
+            [codec.encode(image) for image in images]
+            timings["scalar_loop"] = min(
+                timings["scalar_loop"], time.perf_counter() - start
+            )
+
+    def _rate_row(seconds: float) -> dict:
+        return {
+            "images_per_s": round(n_images / seconds, 2),
+            "pixel_mb_per_s": round(pixel_bytes / _MB / seconds, 3),
+        }
+
+    section: dict = {
+        "parity": {
+            "checked_before_timing": True,
+            "max_step_delta": max_delta,
+            "mismatch_rate": round(mismatch_rate, 8),
+            "budget_rate": MAX_MISMATCH_RATE,
+        },
+        "scalar": _rate_row(timings["scalar_loop"]),
+        "fused": {
+            **_rate_row(timings["fused_loop"]),
+            "speedup_vs_scalar": round(
+                timings["scalar_loop"] / timings["fused_loop"], 2
+            ),
+        },
+        "fused_batch": {
+            **_rate_row(timings["fused_batch"]),
+            "speedup_vs_scalar": round(
+                timings["scalar_loop"] / timings["fused_batch"], 2
+            ),
+            "speedup_vs_per_image_loop": round(
+                timings["fused_loop"] / timings["fused_batch"], 2
+            ),
+        },
+        "workers": {},
+    }
+    # EncodePool rows: identity-checked against the fused batch, then timed.
+    # On a single-core runner these document the engine's slab/queue/fork
+    # overhead rather than speedup (see `workload.cpu_count`).
+    for n_workers in pool_workers:
+        with EncodePool(n_workers, warmup_quality=quality) as pool:
+            out = pool.encode_batch(images, quality=quality)  # warm workers + slab
+            assert out == fused_streams, "pooled encode diverged from in-process"
+            best = float("inf")
+            for _ in range(trials):
+                start = time.perf_counter()
+                pool.encode_batch(images, quality=quality)
+                best = min(best, time.perf_counter() - start)
+            section["workers"][str(n_workers)] = {
+                **_rate_row(best),
+                "speedup_vs_inprocess_batch": round(timings["fused_batch"] / best, 2),
+                "identical": True,
+                "fallback_batches": pool.stats.fallback_batches,
+            }
+    return section
+
+
+def run_ingest_benchmark(
+    image_size: int = DEFAULT_IMAGE_SIZE,
+    n_images: int = DEFAULT_N_IMAGES,
+    quality: int = DEFAULT_QUALITY,
+    trials: int = DEFAULT_TRIALS,
+    pool_workers: tuple[int, ...] = (2,),
+) -> dict:
+    """Ingest-layer measurements only (the `--ingest-only` mode).
+
+    Same workload construction as :func:`run_benchmark` so the rows are
+    directly comparable to the committed ``BENCH_codec.json``; used by the
+    CI ingest-throughput regression gate.
+    """
+    generator = SyntheticImageGenerator(
+        n_classes=4, spec=SyntheticImageSpec(image_size=image_size), seed=1
+    )
+    images = [generator.generate(i % 4, sample_seed=i) for i in range(n_images)]
+    return {
+        "workload": {
+            "dataset": "synthetic (frequency-controlled classes)",
+            "n_images": n_images,
+            "image_size": image_size,
+            "quality": quality,
+            "trials": trials,
+            "cpu_count": os.cpu_count(),
+        },
+        "ingest_throughput": _ingest_section(images, quality, trials, pool_workers),
+    }
+
+
+def check_ingest_gate(
+    results: dict, baseline_path: str, max_drop_pct: float
+) -> tuple[bool, str]:
+    """Compare measured ingest images/s against a committed baseline.
+
+    Returns ``(ok, message)``.  The gated statistic is the fused in-process
+    batch-encode rate (the pool rows depend on the runner's core count).  A
+    baseline without an ``ingest_throughput`` section passes trivially — the
+    first run on a new baseline records it.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    if "ingest_throughput" not in baseline:
+        return True, "baseline has no ingest_throughput section yet"
+    reference = baseline["ingest_throughput"]["fused_batch"]["images_per_s"]
+    measured = results["ingest_throughput"]["fused_batch"]["images_per_s"]
+    floor = reference * (1.0 - max_drop_pct / 100.0)
+    message = (
+        f"ingest encode {measured:.2f} images/s vs committed baseline "
+        f"{reference:.2f} images/s (floor {floor:.2f} at -{max_drop_pct:.0f}%)"
+    )
+    return measured >= floor, message
+
+
+def print_ingest_report(results: dict) -> None:
+    workload = results["workload"]
+    section = results["ingest_throughput"]
+    parity = section["parity"]
+    print("-" * 74)
+    print(
+        f"ingest encode — {workload['n_images']} x {workload['image_size']}px "
+        f"synthetic, quality {workload['quality']} "
+        f"(parity: max Δ {parity['max_step_delta']} step, "
+        f"rate {parity['mismatch_rate']:.1e} <= {parity['budget_rate']:.0e})"
+    )
+    for key, label in [
+        ("scalar", "scalar float64 loop"),
+        ("fused", "fused float32 loop"),
+        ("fused_batch", "fused batch (scratch reuse)"),
+    ]:
+        row = section[key]
+        speedup = (
+            f"   {row['speedup_vs_scalar']:.2f}x vs scalar"
+            if "speedup_vs_scalar" in row
+            else ""
+        )
+        print(
+            f"  {label:30s} {row['images_per_s']:8.2f} images/s   "
+            f"{row['pixel_mb_per_s']:7.2f} pixel MB/s{speedup}"
+        )
+    for n_workers, row in section["workers"].items():
+        print(
+            f"  EncodePool, {n_workers} worker(s)        {row['images_per_s']:8.2f} "
+            f"images/s   {row['pixel_mb_per_s']:7.2f} pixel MB/s   "
+            f"{row['speedup_vs_inprocess_batch']:.2f}x vs in-process "
+            f"({workload.get('cpu_count', '?')} cpu(s))"
+        )
 
 
 def run_entropy_benchmark(
@@ -827,6 +1045,8 @@ def print_report(results: dict) -> None:
             f"{row['uninstrumented_mb_per_s']:.2f} MB/s "
             f"({row['overhead_pct']:+.2f}%)"
         )
+    if "ingest_throughput" in results:
+        print_ingest_report(results)
     if "entropy_superscalar" in results:
         print_entropy_report(results)
 
@@ -851,17 +1071,22 @@ def main(argv: list[str] | None = None) -> int:
         help="only run the entropy-layer tiers (full workload, no JSON)",
     )
     parser.add_argument(
+        "--ingest-only",
+        action="store_true",
+        help="only run the forward-encode / EncodePool rows (no JSON)",
+    )
+    parser.add_argument(
         "--gate",
         metavar="BASELINE_JSON",
         default=None,
-        help="with --entropy-only: fail if entropy decode MB/s drops more "
-        "than --gate-drop-pct below this committed baseline",
+        help="with --entropy-only / --ingest-only: fail if throughput drops "
+        "more than --gate-drop-pct below this committed baseline",
     )
     parser.add_argument(
         "--gate-drop-pct",
         type=float,
         default=10.0,
-        help="allowed entropy-throughput drop vs the --gate baseline (%%)",
+        help="allowed throughput drop vs the --gate baseline (%%)",
     )
     parser.add_argument(
         "--output",
@@ -885,6 +1110,19 @@ def main(argv: list[str] | None = None) -> int:
                     results, args.gate, args.gate_drop_pct
                 )
             print(f"entropy gate {'ok' if ok else 'FAILED'}: {message}")
+            return 0 if ok else 1
+        return 0
+    if args.ingest_only:
+        results = run_ingest_benchmark(trials=args.trials)
+        print_ingest_report(results)
+        if args.gate:
+            ok, message = check_ingest_gate(results, args.gate, args.gate_drop_pct)
+            if not ok:
+                # One honest re-measure before failing, like the other gates.
+                results = run_ingest_benchmark(trials=args.trials + 2)
+                print_ingest_report(results)
+                ok, message = check_ingest_gate(results, args.gate, args.gate_drop_pct)
+            print(f"ingest gate {'ok' if ok else 'FAILED'}: {message}")
             return 0 if ok else 1
         return 0
     if args.quick:
@@ -981,6 +1219,28 @@ def test_obs_overhead_smoke():
 def test_parallel_decode_smoke():
     """Tier-2 smoke: 2-worker DecodePool parity on a small workload."""
     assert parallel_smoke(trials=1) == 0
+
+
+def test_ingest_throughput_smoke():
+    """Tier-2 smoke: the fused forward encode meets its acceptance floor.
+
+    Parity with the scalar reference is asserted inside the section before
+    any timing; the recorded requirement is a >=3x single-process images/s
+    win for the fused float32 batch encode over the scalar float64 loop.
+    """
+    results = run_ingest_benchmark(image_size=96, n_images=3, trials=3)
+    section = results["ingest_throughput"]
+    assert section["parity"]["checked_before_timing"]
+    assert section["parity"]["max_step_delta"] <= 1
+    speedup = section["fused_batch"]["speedup_vs_scalar"]
+    if speedup < 3.0:
+        # One honest re-measure before failing, like the other smoke gates.
+        results = run_ingest_benchmark(image_size=96, n_images=3, trials=5)
+        section = results["ingest_throughput"]
+        speedup = section["fused_batch"]["speedup_vs_scalar"]
+    assert speedup >= 3.0, section
+    assert section["workers"]["2"]["identical"]
+    print_ingest_report(results)
 
 
 if __name__ == "__main__":

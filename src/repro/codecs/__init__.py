@@ -24,11 +24,21 @@ equivalent, self-contained codec:
   colour conversion, scratch-buffer reuse for minibatch decodes), gated by
   the same toggle.  ``decode_progressive_batch`` /
   ``ProgressiveCodec.decode_batch`` are the minibatch-level decode API.
-* :mod:`repro.codecs.parallel` — the process-parallel decode engine
-  (:class:`DecodePool`): persistent pre-warmed worker processes, a chunked
-  work-stealing task queue, and shared-memory frame slabs returning decoded
-  batches zero-copy.  Wired through the reader, ``DataLoader``
-  (``decode_workers``), and both remote record sources.
+* :mod:`repro.codecs.encodepath` — the forward twin of ``pixelpath``: fused
+  RGB→YCbCr+level-shift matmul, strided 4:2:0 downsample, zero-copy block
+  layout, and fused quantize+forward-DCT scaled bases.  Carries a documented
+  ±1-quant-step parity budget against the scalar reference (see
+  ``docs/performance.md``).  ``encode_progressive_batch`` /
+  ``ProgressiveCodec.encode_batch`` / ``BaselineCodec.encode_batch`` are the
+  minibatch-level encode API.
+* :mod:`repro.codecs.parallel` — the process-parallel codec engine:
+  persistent pre-warmed worker processes, a chunked work-stealing task
+  queue, and shared-memory pixel slabs.  :class:`DecodePool` returns decoded
+  batches zero-copy (wired through the reader, ``DataLoader``
+  (``decode_workers``), and both remote record sources);
+  :class:`EncodePool` runs the ingest direction (pixels in via slabs,
+  encoded streams out), wired through ``repro.core.convert``
+  (``encode_workers``).
 * :mod:`repro.codecs.baseline` — sequential, single-scan encoding.
 * :mod:`repro.codecs.progressive` — spectral-selection progressive encoding
   (default 10 scans), partially decodable.
@@ -47,11 +57,17 @@ from repro.codecs.config import (
     use_superscalar,
 )
 from repro.codecs.image import ImageBuffer
-from repro.codecs.parallel import DecodePool, DecodePoolStats
+from repro.codecs.parallel import (
+    DecodePool,
+    DecodePoolStats,
+    EncodePool,
+    EncodePoolStats,
+)
 from repro.codecs.progressive import (
     ProgressiveCodec,
     ScanScript,
     decode_progressive_batch,
+    encode_progressive_batch,
 )
 from repro.codecs.quantization import QuantizationTables
 from repro.codecs.transcode import transcode_to_progressive
@@ -65,11 +81,14 @@ __all__ = [
     "BaselineCodec",
     "DecodePool",
     "DecodePoolStats",
+    "EncodePool",
+    "EncodePoolStats",
     "ImageBuffer",
     "ProgressiveCodec",
     "QuantizationTables",
     "ScanScript",
     "decode_progressive_batch",
+    "encode_progressive_batch",
     "fastpath_enabled",
     "set_fastpath",
     "set_superscalar",

@@ -22,6 +22,7 @@ from repro.codecs.progressive import (
     decode_coefficients,
     decode_progressive_batch,
     encode_coefficients,
+    encode_progressive_batch,
     image_to_coefficients,
 )
 
@@ -38,6 +39,16 @@ class BaselineCodec:
         coefficients = image_to_coefficients(image, self.quality, self.subsampling)
         script = ScanScript.sequential(coefficients.header.n_components)
         return encode_coefficients(coefficients, script)
+
+    def encode_batch(self, images: list[ImageBuffer]) -> list[bytes]:
+        """Encode a minibatch of images, amortizing setup and work buffers.
+
+        See :func:`repro.codecs.progressive.encode_progressive_batch`;
+        results are bitwise identical to per-image :meth:`encode` calls.
+        """
+        return encode_progressive_batch(
+            images, self.quality, self.subsampling, layout="sequential"
+        )
 
     def decode(self, data: bytes, max_scans: int | None = None) -> ImageBuffer:
         """Decode a sequential stream (optionally only the first scans)."""

@@ -20,6 +20,8 @@ Invariants:
 
 from __future__ import annotations
 
+import numpy as np
+
 #: Flush the writer's accumulator to bytes once it holds this many bits.
 #: Large enough that big-int shifts amortize well, small enough that the
 #: accumulator stays a few machine words.
@@ -74,6 +76,77 @@ class BitWriter:
                 n_bits = rem
         self._acc = acc
         self._n_bits = n_bits
+
+    #: Per-slice bit cap for the vectorized packer: bounds the int64
+    #: temporaries (~24 bytes per bit) to a few tens of MB however large a
+    #: single scan gets.
+    _PACK_SLICE_BITS = 1 << 21
+
+    def write_many_array(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Vectorized :meth:`write_many` for int64 numpy ``(value, width)`` arrays.
+
+        Produces bit-identical output: every value's lowest ``width`` bits
+        are appended MSB-first.  Instead of a Python loop over big-int
+        shifts, the whole batch is expanded to a per-bit array (item index
+        via ``np.repeat``, per-bit shift via a cumulative-width ramp) and
+        packed with ``np.packbits``; the trailing partial byte is folded
+        back into the accumulator so subsequent scalar writes continue
+        seamlessly.  Items must be non-negative and at most 62 bits wide
+        (the caller's fused symbol+magnitude pairs are ``<= 62``); wider
+        items must take :meth:`write_many`.
+        """
+        n_items = int(values.shape[0])
+        if n_items == 0:
+            return
+        # Move whole pending bytes out, then fold the <8 leftover bits in as
+        # a leading pseudo-item so the packed run starts byte-aligned.
+        self._flush_whole_bytes()
+        if self._n_bits:
+            values = np.concatenate((np.asarray([self._acc], dtype=np.int64), values))
+            widths = np.concatenate((np.asarray([self._n_bits], dtype=np.int64), widths))
+            self._acc = 0
+            self._n_bits = 0
+        ends = np.cumsum(widths, dtype=np.int64)
+        total_bits = int(ends[-1])
+        buffer = self._buffer
+        start_item = 0
+        start_bit = 0
+        while start_bit < total_bits:
+            # Slice on item boundaries so each expansion stays bounded.
+            stop_item = int(np.searchsorted(ends, start_bit + self._PACK_SLICE_BITS))
+            stop_item = max(stop_item, start_item + 1)
+            stop_bit = int(ends[stop_item - 1])
+            slice_widths = widths[start_item:stop_item]
+            slice_bits = stop_bit - start_bit
+            item_of_bit = np.repeat(
+                np.arange(start_item, stop_item, dtype=np.int64), slice_widths
+            )
+            shift = ends[item_of_bit] - np.arange(start_bit + 1, stop_bit + 1)
+            bits = ((values[item_of_bit] >> shift) & 1).astype(np.uint8)
+            whole = slice_bits & ~7
+            if whole:
+                buffer += np.packbits(bits[:whole]).tobytes()
+            for bit in bits[whole:]:
+                self._acc = (self._acc << 1) | int(bit)
+                self._n_bits += 1
+            start_item = stop_item
+            start_bit = stop_bit
+            if self._n_bits and start_bit < total_bits:
+                # A mid-run slice ended off a byte boundary; re-fold the
+                # pending bits as the next slice's leading pseudo-item (and
+                # back the cursor up over them) so it starts aligned.
+                pending = self._n_bits
+                values = np.concatenate(
+                    (np.asarray([self._acc], dtype=np.int64), values[start_item:])
+                )
+                widths = np.concatenate(
+                    (np.asarray([pending], dtype=np.int64), widths[start_item:])
+                )
+                start_bit -= pending
+                ends = np.cumsum(widths, dtype=np.int64) + start_bit
+                start_item = 0
+                self._acc = 0
+                self._n_bits = 0
 
     def _flush_whole_bytes(self) -> None:
         rem = self._n_bits & 7

@@ -103,7 +103,15 @@ def encode_scan_body_fast(coefficients, scan) -> bytes:
                 fused_values = np.append(fused_values, values[-1])
                 fused_widths = np.append(fused_widths, widths[-1])
             values, widths = fused_values, fused_widths
-        writer.write_many(values.tolist(), widths.tolist())
+        # Large runs take the fully vectorized bit packer (per-bit expand +
+        # np.packbits); below the threshold numpy's fixed costs lose to the
+        # plain loop.  Both emit identical bits.  The packer caps items at
+        # 62 bits, which fused pairs satisfy; unfused runs (pathological DC
+        # magnitudes > 31 bits) keep the loop.
+        if values.shape[0] >= 256 and int(widths.max()) <= 62:
+            writer.write_many_array(values, widths)
+        else:
+            writer.write_many(values.tolist(), widths.tolist())
     return table.to_bytes() + writer.getvalue()
 
 

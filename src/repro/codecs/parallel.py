@@ -1,4 +1,4 @@
-"""Process-parallel minibatch decoding through shared-memory frame slabs.
+"""Process-parallel minibatch codecs through shared-memory pixel slabs.
 
 The fast decode path is >90% entropy-bound (see ``BENCH_codec.json``), and
 the sequential per-symbol Huffman loop cannot be vectorized inside one
@@ -7,6 +7,16 @@ parallelism instead: a persistent fleet of worker processes decodes the
 streams of a minibatch concurrently, one core per worker, and hands the
 pixels back through preallocated ``multiprocessing.shared_memory`` frame
 slabs so no pixel data is ever pickled.
+
+:class:`EncodePool` is the same engine with the data flow inverted for
+ingest (dataset conversion): the parent lays a chunk of images out in a
+shared slab (pixels *in* via shared memory, one memcpy each), workers run
+the batched float32 forward path + entropy encoder
+(:func:`~repro.codecs.progressive.encode_progressive_batch`), and the
+encoded streams — orders of magnitude smaller than the pixels — return
+through the ordinary result queue.  Both pools share the worker fleet,
+work-stealing chunk queue, slab pooling, and crash-fallback machinery
+below (:class:`_PoolState`).
 
 Architecture
 ------------
@@ -60,11 +70,11 @@ from queue import Empty
 import numpy as np
 
 from repro.codecs import config as codec_config
-from repro.codecs.markers import parse_frame_header
+from repro.codecs.markers import SUBSAMPLING_420, parse_frame_header
 from repro.codecs.image import ImageBuffer
 from repro.obs import metrics as obs_metrics
 
-__all__ = ["DecodePool", "DecodePoolStats"]
+__all__ = ["DecodePool", "DecodePoolStats", "EncodePool", "EncodePoolStats"]
 
 #: Chunks created per worker and batch: enough granularity that a worker
 #: finishing early steals meaningful work, few enough that queue overhead
@@ -243,6 +253,115 @@ def _decode_worker_main(task_queue, result_queue, warmup_quality) -> None:
                 pass
 
 
+def _encode_prewarm(quality: int) -> None:
+    """Heat the forward fast-path caches (scaled forward bases, DHT builds).
+
+    One tiny color encode touches the RGB→YCbCr matmul, the forward
+    scaled-basis cache for the warmup quality's quant tables, and the
+    Huffman table-build path, so a worker's first real chunk runs at steady
+    state.
+    """
+    from repro.codecs.progressive import encode_progressive_batch
+
+    ramp = (np.arange(16 * 16 * 3, dtype=np.int64) * 7 % 256).astype(np.uint8)
+    image = ImageBuffer(ramp.reshape(16, 16, 3))
+    encode_progressive_batch([image], quality=quality)
+
+
+def _slab_image(shm, offset: int, nbytes: int, shape) -> ImageBuffer:
+    """Wrap a slab region as a zero-copy read-only ImageBuffer.
+
+    Scoped in a helper so no local name keeps a view alive after the
+    caller drops its image list (a lingering view blocks ``shm.close``).
+    """
+    region = np.frombuffer(
+        shm.buf, dtype=np.uint8, count=nbytes, offset=offset
+    ).reshape(shape)
+    # Read-only view: ImageBuffer.from_array wraps read-only arrays without
+    # copying, so the encoder reads straight out of the slab.
+    region.flags.writeable = False
+    return ImageBuffer.from_array(region)
+
+
+def _encode_worker_main(task_queue, result_queue, warmup_quality) -> None:
+    """Long-lived ingest worker: pull a chunk, read pixels from the slab,
+    encode, and send the streams back through the result queue.
+
+    The data flow is the mirror image of :func:`_decode_worker_main`: pixels
+    arrive through shared memory (zero pickling of the heavy direction) and
+    the compressed streams — typically 10-50x smaller — return through the
+    ordinary queue.  Workers pin the fast path on; the pool's contract is
+    identity with in-process *fast-path* encoding.
+    """
+    from repro.codecs.progressive import encode_progressive_batch
+    from repro.obs import diff_snapshots, get_registry
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    codec_config.set_fastpath(True)
+    registry = get_registry()
+    registry.reset()
+    if warmup_quality is not None:
+        try:
+            _encode_prewarm(warmup_quality)
+        except Exception:  # warmup is best-effort; first real batch warms too
+            pass
+    registry.reset()  # drop warmup encode counts from the first chunk delta
+    last_snapshot = registry.snapshot()
+    # Bounded slab attach cache — same rationale as the decode worker.
+    max_attached = 8
+    attached: dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is _SENTINEL:
+                break
+            batch_id, chunk_id, slab_name, params, jobs = task
+            try:
+                quality, subsampling, layout = params
+                shm = attached.pop(slab_name, None)
+                if shm is None:
+                    shm = shared_memory.SharedMemory(name=slab_name)
+                attached[slab_name] = shm  # (re)insert as most recently used
+                while len(attached) > max_attached:
+                    oldest = next(iter(attached))
+                    try:
+                        attached.pop(oldest).close()
+                    except Exception:
+                        pass
+                images = [
+                    _slab_image(shm, offset, nbytes, shape)
+                    for offset, nbytes, shape in jobs
+                ]
+                try:
+                    streams = encode_progressive_batch(
+                        images,
+                        quality=quality,
+                        subsampling=subsampling,
+                        layout=layout,
+                    )
+                finally:
+                    # Drop the slab views before the result ships so slab
+                    # eviction / worker exit can unmap the segment cleanly.
+                    del images
+                snapshot = registry.snapshot()
+                delta = diff_snapshots(snapshot, last_snapshot)
+                last_snapshot = snapshot
+                result_queue.put((batch_id, chunk_id, None, streams, delta))
+            except Exception:
+                last_snapshot = registry.snapshot()
+                result_queue.put(
+                    (batch_id, chunk_id, traceback.format_exc(), None, None)
+                )
+    except (KeyboardInterrupt, EOFError, OSError):
+        pass  # parent is gone or tearing down; exit quietly
+    finally:
+        for shm in attached.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
 # --------------------------------------------------------------------------
 # Slab lifecycle
 # --------------------------------------------------------------------------
@@ -319,11 +438,27 @@ def _release_slab(state: "_PoolState", slab: _Slab) -> None:
 
 
 class _PoolState:
-    def __init__(self, ctx, n_workers: int, warmup_quality: int | None, max_free_slabs: int):
+    def __init__(
+        self,
+        ctx,
+        n_workers: int,
+        warmup_quality: int | None,
+        max_free_slabs: int,
+        *,
+        worker_main=None,
+        worker_name: str = "pcr-decode",
+        stats=None,
+    ):
         self.ctx = ctx
         self.n_workers = n_workers
         self.warmup_quality = warmup_quality
         self.max_free_slabs = max_free_slabs
+        # The worker entry point and stats object are injected so DecodePool
+        # and EncodePool share one fleet/slab/fallback engine; any stats
+        # object with workers_started / fleet_restarts / slabs_created
+        # counters works.
+        self.worker_main = worker_main if worker_main is not None else _decode_worker_main
+        self.worker_name = worker_name
         self.lock = threading.RLock()
         self.closed = False
         self.respawn = True  # tests flip this to pin the fallback path
@@ -333,7 +468,7 @@ class _PoolState:
         self.free_slabs: list[_Slab] = []
         self.batch_counter = 0
         self.slab_counter = 0
-        self.stats = DecodePoolStats()
+        self.stats = stats if stats is not None else DecodePoolStats()
 
     # -- workers ----------------------------------------------------------
 
@@ -353,10 +488,10 @@ class _PoolState:
             return
         while self.respawn and len(self.workers) < self.n_workers:
             worker = self.ctx.Process(
-                target=_decode_worker_main,
+                target=self.worker_main,
                 args=(self.tasks, self.results, self.warmup_quality),
                 daemon=True,
-                name=f"pcr-decode-{len(self.workers)}",
+                name=f"{self.worker_name}-{len(self.workers)}",
             )
             worker.start()
             self.workers.append(worker)
@@ -711,6 +846,266 @@ class DecodePool:
             self._finalizer.detach()
 
     def __enter__(self) -> "DecodePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class EncodePoolStats:
+    """Counters an :class:`EncodePool` accumulates over its lifetime."""
+
+    batches: int = 0
+    parallel_batches: int = 0
+    fallback_batches: int = 0
+    images_encoded: int = 0
+    pixel_bytes_in: int = 0
+    encoded_bytes_out: int = 0
+    fleet_restarts: int = 0
+    workers_started: int = 0
+    slabs_created: int = 0
+    last_worker_error: str = field(default="", repr=False)
+
+
+class EncodePool:
+    """A persistent process pool that encodes minibatches of images.
+
+    ``encode_batch`` is a drop-in replacement for
+    :func:`repro.codecs.progressive.encode_progressive_batch`: it takes the
+    same list of :class:`~repro.codecs.image.ImageBuffer` and returns the
+    same list of encoded streams, identical to in-process fast-path
+    encoding — except the forward DCT + entropy loops of the batch run on
+    ``n_workers`` cores concurrently, and the pixels travel to the workers
+    through shared-memory slabs (one parent-side memcpy per image, zero
+    pickling of pixel data).  Encoded streams are orders of magnitude
+    smaller than pixels, so they return through the ordinary result queue.
+
+    With ``n_workers <= 1`` the pool is a thin wrapper over the in-process
+    batch encoder (no processes, no shared memory), so conversion code can
+    wire a pool unconditionally and control parallelism with one integer.
+
+    Fleet lifecycle, chunked work stealing, slab pooling, crash fallback,
+    and the stall watchdog are shared with :class:`DecodePool` (see the
+    module docstring); after any worker failure the unfinished remainder of
+    the batch is encoded in-process and the caller sees identical streams
+    either way.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        start_method: str | None = None,
+        warmup_quality: int | None = 90,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+        max_free_slabs: int = 4,
+        stall_timeout: float = 30.0,
+    ) -> None:
+        self.n_workers = int(n_workers)
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        #: Seconds without any chunk completing (workers alive) before a
+        #: batch is declared stalled and finished in-process.
+        self.stall_timeout = float(stall_timeout)
+        self._closed_inprocess = False
+        self._inprocess_lock = threading.Lock()
+        if self.n_workers <= 1:
+            self._state: _PoolState | None = None
+            self._stats = EncodePoolStats()
+            self._finalizer = None
+            return
+        ctx = multiprocessing.get_context(start_method or _default_start_method())
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        state = _PoolState(
+            ctx,
+            self.n_workers,
+            warmup_quality,
+            max_free_slabs,
+            worker_main=_encode_worker_main,
+            worker_name="pcr-encode",
+            stats=EncodePoolStats(),
+        )
+        self._state = state
+        self._stats = state.stats
+        with state.lock:
+            state.ensure_workers()
+        self._finalizer = weakref.finalize(self, _PoolState.shutdown, state)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def stats(self) -> EncodePoolStats:
+        return self._stats
+
+    @property
+    def closed(self) -> bool:
+        if self._state is not None:
+            return self._state.closed
+        return self._closed_inprocess
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode_batch(
+        self,
+        images,
+        *,
+        quality: int = 90,
+        subsampling: int = SUBSAMPLING_420,
+        layout: str = "progressive",
+    ) -> list[bytes]:
+        """Encode a minibatch of images; identical to in-process encoding."""
+        images = list(images)
+        if not images:
+            return []
+        state = self._state
+        if state is None:
+            return self._encode_inprocess(images, quality, subsampling, layout)
+        with state.lock:
+            if state.closed:
+                return self._encode_inprocess(images, quality, subsampling, layout)
+            return self._encode_parallel(state, images, quality, subsampling, layout)
+
+    def _encode_inprocess(self, images, quality, subsampling, layout) -> list[bytes]:
+        from repro.codecs.progressive import encode_progressive_batch
+
+        # The pool's contract is identity with *fast-path* encoding (workers
+        # pin it on); the in-process degradations must match even when the
+        # caller has toggled the scalar reference path globally.
+        with codec_config.use_fastpath(True):
+            streams = encode_progressive_batch(
+                images, quality=quality, subsampling=subsampling, layout=layout
+            )
+        with self._inprocess_lock:
+            self._stats.batches += 1
+            self._stats.images_encoded += len(images)
+            self._stats.pixel_bytes_in += sum(im.pixels.nbytes for im in images)
+            self._stats.encoded_bytes_out += sum(len(s) for s in streams)
+        return streams
+
+    def _encode_parallel(
+        self, state: _PoolState, images, quality, subsampling, layout
+    ) -> list[bytes]:
+        from repro.codecs.progressive import encode_progressive_batch
+
+        state.ensure_workers()
+        if not state.workers:
+            # Respawning is disabled and the fleet is gone: encode in-process
+            # without touching the (fresh, empty) queues.
+            state.stats.fallback_batches += 1
+            return self._encode_inprocess(images, quality, subsampling, layout)
+        shapes: list[tuple[int, ...]] = []
+        sizes: list[int] = []
+        offsets: list[int] = []
+        total = 0
+        for image in images:
+            pixels = image.pixels
+            shapes.append(pixels.shape)
+            sizes.append(pixels.nbytes)
+            offsets.append(total)
+            total += pixels.nbytes
+        slab = state.acquire_slab(total)
+        try:
+            # Lay the chunk's pixels out back-to-back in the slab: one
+            # memcpy per image is the only parent-side pixel movement.
+            for image, offset, nbytes in zip(images, offsets, sizes):
+                region = np.frombuffer(
+                    slab.shm.buf, dtype=np.uint8, count=nbytes, offset=offset
+                )
+                region[:] = image.pixels.reshape(-1)
+                del region
+            # Balance chunks by *pixel* bytes: encode cost scales with the
+            # uncompressed size, unlike decode (compressed bytes).
+            chunks = _chunk_by_bytes(sizes, state.n_workers * self.chunks_per_worker)
+            state.batch_counter += 1
+            batch_id = state.batch_counter
+            params = (quality, subsampling, layout)
+            for chunk_id, indices in enumerate(chunks):
+                jobs = [(offsets[i], sizes[i], shapes[i]) for i in indices]
+                state.tasks.put((batch_id, chunk_id, slab.shm.name, params, jobs))
+            pending = set(range(len(chunks)))
+            chunk_streams: dict[int, list[bytes]] = {}
+            failed = not state.workers
+            last_progress = time.monotonic()
+            while pending and not failed:
+                try:
+                    done_batch, done_chunk, error, streams, delta = state.results.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except Empty:
+                    if any(not worker.is_alive() for worker in state.workers):
+                        failed = True
+                    elif time.monotonic() - last_progress > self.stall_timeout:
+                        state.stats.last_worker_error = "batch stalled"
+                        failed = True
+                    continue
+                if done_batch != batch_id:
+                    continue  # stale result from an aborted batch
+                if error is not None:
+                    state.stats.last_worker_error = error
+                    failed = True
+                    break
+                chunk_streams[done_chunk] = streams
+                pending.discard(done_chunk)
+                last_progress = time.monotonic()
+                if delta:
+                    # Fold the worker's per-chunk registry delta into the
+                    # parent: fleet ingest metrics equal in-process metrics.
+                    obs_metrics.get_registry().merge(delta)
+
+            results: list = [None] * len(images)
+            for chunk_id, streams in chunk_streams.items():
+                for index, stream in zip(chunks[chunk_id], streams):
+                    results[index] = stream
+            if failed:
+                # Completed chunks keep their streams (identical either
+                # way); tear the fleet down to a clean slate and encode the
+                # unfinished remainder in-process.
+                state.stats.fallback_batches += 1
+                state.restart_fleet()
+                fallback = sorted(
+                    index for chunk_id in pending for index in chunks[chunk_id]
+                )
+                with codec_config.use_fastpath(True):
+                    encoded = encode_progressive_batch(
+                        [images[i] for i in fallback],
+                        quality=quality,
+                        subsampling=subsampling,
+                        layout=layout,
+                    )
+                for index, stream in zip(fallback, encoded):
+                    results[index] = stream
+            state.stats.batches += 1
+            if chunk_streams:
+                # Only count batches where workers actually encoded chunks.
+                state.stats.parallel_batches += 1
+            state.stats.images_encoded += len(images)
+            state.stats.pixel_bytes_in += total
+            state.stats.encoded_bytes_out += sum(len(s) for s in results)
+            return results
+        finally:
+            # Outputs are plain bytes — nothing views the slab after the
+            # batch, so it returns to the pool immediately (no leases).
+            _release_slab(state, slab)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers and release every pooled shared-memory slab.
+
+        Encoding through a closed pool transparently runs in-process.
+        """
+        self._closed_inprocess = True
+        if self._state is not None:
+            self._state.shutdown(timeout=timeout)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+
+    def __enter__(self) -> "EncodePool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -49,6 +49,7 @@ from repro.codecs.markers import (
     parse_frame_header,
     write_scan_segment,
 )
+from repro.codecs.encodepath import encode_to_planes
 from repro.codecs.pixelpath import PixelScratch, decode_to_pixels
 from repro.codecs.quantization import QuantizationTables, dequantize, quantize
 from repro.codecs.rle import (
@@ -164,8 +165,43 @@ def image_to_coefficients(
     image: ImageBuffer,
     quality: int = DEFAULT_QUALITY,
     subsampling: int = SUBSAMPLING_420,
+    scratch: PixelScratch | None = None,
 ) -> CoefficientPlanes:
-    """Forward-transform an image into quantized zigzag coefficient planes."""
+    """Forward-transform an image into quantized zigzag coefficient planes.
+
+    Dispatches to the batched float32 forward path
+    (:mod:`repro.codecs.encodepath`: fused colour conversion + level
+    shift, strided 4:2:0 downsample, one fused quantize+DCT sgemm per
+    component) unless the fast path is disabled via
+    :mod:`repro.codecs.config`.  The float64 scalar path is the
+    differential reference; unlike the entropy stage the two are *not*
+    byte-identical — coefficients may differ by at most 1 quant step at
+    a documented, tested rate (see the error budget in
+    :mod:`repro.codecs.encodepath`).  ``scratch`` lets batch callers
+    reuse work buffers; it is ignored on the scalar path.
+    """
+    if codec_config.FASTPATH:
+        tables = QuantizationTables.for_quality(quality)
+        if not image.is_color:
+            subsampling = SUBSAMPLING_NONE
+        header = FrameHeader(
+            height=image.height,
+            width=image.width,
+            n_components=3 if image.is_color else 1,
+            subsampling=subsampling,
+            quant_tables=tables,
+        )
+        planes = encode_to_planes(image, tables, subsampling, scratch)
+        return CoefficientPlanes(header=header, planes=planes)
+    return _image_to_coefficients_scalar(image, quality, subsampling)
+
+
+def _image_to_coefficients_scalar(
+    image: ImageBuffer,
+    quality: int = DEFAULT_QUALITY,
+    subsampling: int = SUBSAMPLING_420,
+) -> CoefficientPlanes:
+    """Scalar float64 reference: per-stage colour / subsample / DCT / quantize."""
     tables = QuantizationTables.for_quality(quality)
     if image.is_color:
         ycc = rgb_to_ycbcr(image.as_float())
@@ -422,6 +458,73 @@ def decode_progressive_batch(
     return images
 
 
+def encode_progressive_batch(
+    images: list[ImageBuffer],
+    quality: int = DEFAULT_QUALITY,
+    subsampling: int = SUBSAMPLING_420,
+    script: ScanScript | None = None,
+    layout: str = "progressive",
+) -> list[bytes]:
+    """Encode a whole chunk of images at once — the minibatch ingest entry.
+
+    The encode-side mirror of :func:`decode_progressive_batch`: one
+    :class:`~repro.codecs.pixelpath.PixelScratch` amortizes every float32
+    forward-path work buffer across the chunk, and Huffman/basis setup is
+    shared through the module caches.  Encoding is identical to calling
+    the per-image APIs in a loop — the batch reuses *buffers*, never
+    cross-image arithmetic.
+
+    ``layout`` selects what each returned stream is:
+
+    * ``"progressive"`` — the default multi-scan progressive stream
+      (``script`` or the component-count default script);
+    * ``"sequential"`` — the baseline single-scan-per-component layout
+      (what :class:`~repro.codecs.baseline.BaselineCodec` emits);
+    * ``"pcr"`` — the full Fig-15 conversion job: encode to a baseline
+      stream, then losslessly transcode it to progressive form (byte
+      equivalent to ``transcode_to_progressive(BaselineCodec.encode(im))``).
+
+    Every call records ``ingest.images_total`` / ``ingest.pixel_bytes_total``
+    / ``ingest.encoded_bytes_total`` counters and an
+    ``ingest.encode_batch_seconds`` histogram sample on the default
+    :mod:`repro.obs` registry, under an ``ingest.encode_batch`` span.
+    This is the one instrumentation point the in-process path and the
+    :class:`~repro.codecs.parallel.EncodePool` workers share, so a
+    worker's per-chunk registry delta aggregates into the parent to
+    exactly the totals an in-process encode would have produced.
+    """
+    if layout not in ("progressive", "sequential", "pcr"):
+        raise ValueError(f"unknown encode layout: {layout!r}")
+    registry = get_registry()
+    start = time.perf_counter()
+    with get_tracer().span("ingest.encode_batch", {"images": len(images), "layout": layout}):
+        scratch = PixelScratch() if codec_config.FASTPATH else None
+        streams: list[bytes] = []
+        for image in images:
+            coefficients = image_to_coefficients(image, quality, subsampling, scratch)
+            n_components = coefficients.header.n_components
+            if layout == "progressive":
+                chosen = script if script is not None else ScanScript.default_for(n_components)
+                streams.append(encode_coefficients(coefficients, chosen))
+                continue
+            sequential = encode_coefficients(coefficients, ScanScript.sequential(n_components))
+            if layout == "sequential":
+                streams.append(sequential)
+                continue
+            # "pcr": lossless baseline->progressive transcode, same bytes as
+            # repro.codecs.transcode.transcode_to_progressive on the stream.
+            transcoded, _ = decode_coefficients(sequential)
+            chosen = script if script is not None else ScanScript.default_for(n_components)
+            streams.append(encode_coefficients(transcoded, chosen))
+    registry.counter("ingest.images_total").inc(len(images))
+    registry.counter("ingest.pixel_bytes_total").inc(
+        sum(image.pixels.nbytes for image in images)
+    )
+    registry.counter("ingest.encoded_bytes_total").inc(sum(len(s) for s in streams))
+    registry.histogram("ingest.encode_batch_seconds").observe(time.perf_counter() - start)
+    return streams
+
+
 class ProgressiveCodec:
     """Encode and decode progressive PCR-codec streams."""
 
@@ -446,6 +549,16 @@ class ProgressiveCodec:
         coefficients = image_to_coefficients(image, self.quality, self.subsampling)
         script = self.script_for(coefficients.header.n_components)
         return encode_coefficients(coefficients, script)
+
+    def encode_batch(self, images: list[ImageBuffer]) -> list[bytes]:
+        """Encode a minibatch of images, amortizing setup and work buffers.
+
+        See :func:`encode_progressive_batch`; results are bitwise identical
+        to per-image :meth:`encode` calls.
+        """
+        return encode_progressive_batch(
+            images, self.quality, self.subsampling, script=self._script
+        )
 
     def decode(self, data: bytes, max_scans: int | None = None) -> ImageBuffer:
         """Decode a (possibly truncated) stream, optionally limiting scans."""

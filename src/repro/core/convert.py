@@ -11,27 +11,64 @@ The paper compares two ways to prepare a dataset for multi-quality training:
 ``convert_to_pcr`` and ``build_static_copies`` implement the two pipelines
 over any iterable of samples; :class:`ConversionReport` captures the timing
 and size information Figure 15 and the space-amplification discussion plot.
+
+Both converters *stream*: samples are pulled from the input iterable in
+bounded chunks of ``chunk_size`` images, each chunk is batch-encoded (on the
+fused float32 forward path, optionally across an
+:class:`~repro.codecs.parallel.EncodePool` worker fleet) and written out
+before the next chunk is pulled.  Peak memory is therefore bounded by the
+chunk size plus the record writer's pending buffer — never by the dataset
+size — so a generator over a multi-TB corpus converts in constant space.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.codecs.baseline import BaselineCodec
 from repro.codecs.image import ImageBuffer
-from repro.codecs.progressive import ProgressiveCodec
-from repro.codecs.transcode import transcode_to_progressive
+from repro.codecs.parallel import EncodePool
+from repro.codecs.progressive import ProgressiveCodec, encode_progressive_batch
 from repro.core.scan_groups import ScanGroupPolicy
 from repro.core.writer import PCRWriter, WriteResult
+from repro.obs import get_registry, get_tracer
 from repro.records.tfrecord import TFRecordWriter
 
 Sample = tuple[str, ImageBuffer, int]
 
 #: The static re-encoding qualities used in Figure 15.
 STATIC_QUALITIES = (50, 75, 90, 95)
+
+#: Images pulled from the sample iterable (and batch-encoded) at a time.
+#: Large enough that the batched forward path and pool chunking amortize
+#: well, small enough that a chunk of typical training images is tens of MB.
+DEFAULT_CHUNK_SIZE = 256
+
+
+def _iter_chunks(samples: Iterable[Sample], chunk_size: int) -> Iterator[list[Sample]]:
+    """Yield lists of up to ``chunk_size`` samples, pulling lazily."""
+    chunk: list[Sample] = []
+    for sample in samples:
+        chunk.append(sample)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _encode_chunk(
+    images: list[ImageBuffer],
+    quality: int,
+    layout: str,
+    pool: EncodePool | None,
+) -> list[bytes]:
+    """Batch-encode one chunk, through the pool when one is wired."""
+    if pool is not None:
+        return pool.encode_batch(images, quality=quality, layout=layout)
+    return encode_progressive_batch(images, quality=quality, layout=layout)
 
 
 @dataclass
@@ -44,11 +81,22 @@ class ConversionReport:
     output_bytes: int = 0
     n_copies: int = 1
     per_copy_bytes: dict[str, int] = field(default_factory=dict)
+    n_images: int = 0
+    n_chunks: int = 0
+    chunk_size: int = 0
+    encode_workers: int = 0
 
     @property
     def total_seconds(self) -> float:
         """Total conversion time (JPEG conversion + record creation)."""
         return self.jpeg_conversion_seconds + self.record_creation_seconds
+
+    @property
+    def images_per_second(self) -> float:
+        """End-to-end conversion throughput (0.0 before any work)."""
+        if self.total_seconds <= 0.0 or self.n_images == 0:
+            return 0.0
+        return self.n_images / self.total_seconds
 
     def space_amplification(self, reference_bytes: int) -> float:
         """Output size relative to a single-copy reference dataset."""
@@ -64,22 +112,39 @@ def convert_to_pcr(
     quality: int = 90,
     policy: ScanGroupPolicy | None = None,
     backend: str = "sqlite",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    encode_workers: int = 0,
+    encode_pool: EncodePool | None = None,
 ) -> tuple[WriteResult, ConversionReport]:
     """Encode samples once into a PCR dataset, timing each stage.
 
-    Stage 1 (the ``jpegtran`` role) encodes every image to a baseline stream
-    and losslessly transcodes it to progressive form; stage 2 groups scans
-    and writes the ``.pcr`` records.
-    """
-    baseline_codec = BaselineCodec(quality=quality)
-    report = ConversionReport(approach="pcr")
+    Stage 1 (the ``jpegtran`` role) batch-encodes every image to a baseline
+    stream and losslessly transcodes it to progressive form (the ``"pcr"``
+    encode layout, byte-equivalent to ``transcode_to_progressive(
+    BaselineCodec.encode(image))``); stage 2 groups scans and writes the
+    ``.pcr`` records.  Samples are pulled in ``chunk_size`` batches and
+    flushed to the writer before the next batch is pulled, so peak memory
+    follows the chunk size, not the dataset size.
 
-    progressive_streams: list[tuple[str, bytes, int]] = []
-    start = time.perf_counter()
-    for key, image, label in samples:
-        baseline_bytes = baseline_codec.encode(image)
-        progressive_streams.append((key, transcode_to_progressive(baseline_bytes), label))
-    report.jpeg_conversion_seconds = time.perf_counter() - start
+    ``encode_workers > 1`` runs stage 1 on an :class:`EncodePool` worker
+    fleet (created here and closed on return); pass an ``encode_pool`` to
+    reuse a fleet across several conversions instead.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    report = ConversionReport(
+        approach="pcr",
+        chunk_size=chunk_size,
+        encode_workers=encode_pool.n_workers if encode_pool is not None else encode_workers,
+    )
+    registry = get_registry()
+    tracer = get_tracer()
+
+    pool = encode_pool
+    own_pool = False
+    if pool is None and encode_workers > 1:
+        pool = EncodePool(encode_workers, warmup_quality=quality)
+        own_pool = True
 
     writer = PCRWriter(
         output_dir,
@@ -88,9 +153,33 @@ def convert_to_pcr(
         policy=policy,
         backend=backend,
     )
-    start = time.perf_counter()
-    result = writer.write_dataset(progressive_streams)
-    report.record_creation_seconds = time.perf_counter() - start
+    try:
+        for chunk in _iter_chunks(samples, chunk_size):
+            with tracer.span(
+                "ingest.convert_chunk", {"images": len(chunk), "approach": "pcr"}
+            ):
+                start = time.perf_counter()
+                streams = _encode_chunk(
+                    [image for _, image, _ in chunk], quality, "pcr", pool
+                )
+                encode_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                for (key, _, label), stream in zip(chunk, streams):
+                    writer.add_sample(key, stream, label)
+                write_seconds = time.perf_counter() - start
+            report.jpeg_conversion_seconds += encode_seconds
+            report.record_creation_seconds += write_seconds
+            report.n_images += len(chunk)
+            report.n_chunks += 1
+            registry.counter("ingest.chunks_total").inc()
+            registry.histogram("ingest.convert_encode_seconds").observe(encode_seconds)
+            registry.histogram("ingest.convert_write_seconds").observe(write_seconds)
+        start = time.perf_counter()
+        result = writer.finalize()
+        report.record_creation_seconds += time.perf_counter() - start
+    finally:
+        if own_pool:
+            pool.close()
     report.output_bytes = result.total_bytes
     report.per_copy_bytes["pcr"] = result.total_bytes
     return result, report
@@ -100,31 +189,71 @@ def build_static_copies(
     samples: Iterable[Sample],
     output_dir: str | Path,
     qualities: tuple[int, ...] = STATIC_QUALITIES,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    encode_workers: int = 0,
+    encode_pool: EncodePool | None = None,
 ) -> ConversionReport:
     """Re-encode the dataset at several static qualities (the baseline pipeline).
 
     Each quality level produces its own TFRecord-style record file; the cost
     of every level is paid, and the copies' sizes add up — the behaviour the
-    paper contrasts with a single PCR conversion.
+    paper contrasts with a single PCR conversion.  All per-quality writers
+    stay open across the streamed chunks, so each sample is pulled (and held)
+    exactly once however many qualities are built.
     """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    materialized = list(samples)
-    report = ConversionReport(approach="static", n_copies=len(qualities))
+    report = ConversionReport(
+        approach="static",
+        n_copies=len(qualities),
+        chunk_size=chunk_size,
+        encode_workers=encode_pool.n_workers if encode_pool is not None else encode_workers,
+    )
+    registry = get_registry()
+    tracer = get_tracer()
 
+    pool = encode_pool
+    own_pool = False
+    if pool is None and encode_workers > 1:
+        pool = EncodePool(encode_workers, warmup_quality=max(qualities, default=90))
+        own_pool = True
+
+    record_paths = {q: output_dir / f"static-q{q}.tfrecord" for q in qualities}
+    writers = {q: TFRecordWriter(record_paths[q], quality=q) for q in qualities}
+    try:
+        for chunk in _iter_chunks(samples, chunk_size):
+            with tracer.span(
+                "ingest.convert_chunk", {"images": len(chunk), "approach": "static"}
+            ):
+                images = [image for _, image, _ in chunk]
+                for quality in qualities:
+                    start = time.perf_counter()
+                    encoded = _encode_chunk(images, quality, "sequential", pool)
+                    encode_seconds = time.perf_counter() - start
+                    start = time.perf_counter()
+                    for (key, _, label), stream in zip(chunk, encoded):
+                        writers[quality].add_sample(key, stream, label)
+                    write_seconds = time.perf_counter() - start
+                    report.jpeg_conversion_seconds += encode_seconds
+                    report.record_creation_seconds += write_seconds
+                    registry.histogram("ingest.convert_encode_seconds").observe(
+                        encode_seconds
+                    )
+                    registry.histogram("ingest.convert_write_seconds").observe(
+                        write_seconds
+                    )
+            report.n_images += len(chunk)
+            report.n_chunks += 1
+            registry.counter("ingest.chunks_total").inc()
+    finally:
+        for quality_writer in writers.values():
+            quality_writer.close()
+        if own_pool:
+            pool.close()
     for quality in qualities:
-        codec = BaselineCodec(quality=quality)
-        start = time.perf_counter()
-        encoded = [(key, codec.encode(image), label) for key, image, label in materialized]
-        report.jpeg_conversion_seconds += time.perf_counter() - start
-
-        record_path = output_dir / f"static-q{quality}.tfrecord"
-        start = time.perf_counter()
-        writer = TFRecordWriter(record_path, quality=quality)
-        writer.write_dataset(encoded)
-        report.record_creation_seconds += time.perf_counter() - start
-
-        copy_bytes = record_path.stat().st_size
+        copy_bytes = record_paths[quality].stat().st_size
         report.per_copy_bytes[f"q{quality}"] = copy_bytes
         report.output_bytes += copy_bytes
     return report

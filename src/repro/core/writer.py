@@ -85,6 +85,16 @@ class PCRWriter:
 
     # -- public API --------------------------------------------------------
 
+    @property
+    def pending_samples(self) -> int:
+        """Samples buffered but not yet flushed into a record.
+
+        Always ``< images_per_record`` after :meth:`add_sample` returns —
+        the bound streaming converters rely on (and tests assert) for
+        chunk-sized peak memory.
+        """
+        return len(self._pending)
+
     def add_sample(
         self,
         key: str,

@@ -1,11 +1,16 @@
 """Differential tests: the vectorized fast path vs the scalar reference.
 
-The fast path (``repro.codecs.fastpath``) must be observationally identical
-to the scalar implementation on every valid stream:
+The fast path (``repro.codecs.fastpath``) must match the scalar
+implementation on every valid stream:
 
-* encoding produces **byte-identical** streams (so datasets written by
-  either implementation are interchangeable), and
-* decoding produces **identical coefficient planes** at every scan prefix.
+* the *entropy stage* produces **byte-identical** streams given identical
+  coefficient planes (``test_scan_bodies_identical_per_scan``), and
+  decoding produces **identical coefficient planes** at every scan prefix;
+* the *forward transform* (``repro.codecs.encodepath``, PR 10) carries a
+  documented ±1-quant-step error budget instead of byte identity, so
+  whole-stream comparisons across the toggle go through
+  ``_assert_stream_parity`` (the full forward-path differential suite
+  lives in ``tests/test_codecs_encodepath.py``).
 
 A perf smoke test pins the ordering (fast must beat scalar) so accidental
 de-vectorization fails CI.
@@ -79,6 +84,31 @@ def _encode_both(codec, image: ImageBuffer) -> tuple[bytes, bytes]:
     return scalar_stream, fast_stream
 
 
+def _assert_stream_parity(scalar_stream: bytes, fast_stream: bytes) -> None:
+    """Whole-stream parity under the forward-path error budget.
+
+    The two encodes may differ in bytes (the float32 forward transform can
+    round a coefficient to the adjacent quant step — see
+    ``repro.codecs.encodepath``), so compare decoded planes: identical
+    geometry, every coefficient within 1 step, mismatches within the
+    documented corpus rate (with small-sample slack for single images).
+    """
+    from repro.codecs.encodepath import MAX_MISMATCH_RATE
+
+    with config.use_fastpath(True):
+        scalar_coeffs, _ = decode_coefficients(scalar_stream)
+        fast_coeffs, _ = decode_coefficients(fast_stream)
+    total = 0
+    mismatched = 0
+    for scalar_plane, fast_plane in zip(scalar_coeffs.planes, fast_coeffs.planes):
+        assert scalar_plane.shape == fast_plane.shape
+        delta = np.abs(scalar_plane.astype(np.int64) - fast_plane.astype(np.int64))
+        assert int(delta.max(initial=0)) <= 1
+        mismatched += int((delta > 0).sum())
+        total += delta.size
+    assert mismatched <= max(3, int(total * MAX_MISMATCH_RATE))
+
+
 def _assert_decodes_match(stream: bytes, n_scans: int) -> None:
     for max_scans in range(1, n_scans + 1):
         with config.use_fastpath(False):
@@ -91,7 +121,7 @@ def _assert_decodes_match(stream: bytes, n_scans: int) -> None:
 
 
 class TestStreamEquivalence:
-    """Byte-identical encodes and identical decodes across configurations."""
+    """Stream parity (entropy byte-identical, forward within budget) across configurations."""
 
     @pytest.mark.parametrize("subsampling", [SUBSAMPLING_420, SUBSAMPLING_NONE])
     @pytest.mark.parametrize("quality", [50, 90])
@@ -99,14 +129,14 @@ class TestStreamEquivalence:
         image = make_structured_image(41, seed=11, color=True)
         codec = ProgressiveCodec(quality=quality, subsampling=subsampling)
         scalar_stream, fast_stream = _encode_both(codec, image)
-        assert scalar_stream == fast_stream
+        _assert_stream_parity(scalar_stream, fast_stream)
         _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
 
     def test_progressive_grayscale(self):
         image = make_structured_image(40, seed=12, color=False)
         codec = ProgressiveCodec(quality=85)
         scalar_stream, fast_stream = _encode_both(codec, image)
-        assert scalar_stream == fast_stream
+        _assert_stream_parity(scalar_stream, fast_stream)
         _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
 
     @pytest.mark.parametrize("color", [True, False])
@@ -114,7 +144,7 @@ class TestStreamEquivalence:
         image = make_structured_image(35, seed=13, color=color)
         codec = BaselineCodec(quality=80)
         scalar_stream, fast_stream = _encode_both(codec, image)
-        assert scalar_stream == fast_stream
+        _assert_stream_parity(scalar_stream, fast_stream)
         _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
 
     def test_random_noise_images(self):
@@ -123,7 +153,7 @@ class TestStreamEquivalence:
             image = _random_image(seed, size, color)
             codec = ProgressiveCodec(quality=95)
             scalar_stream, fast_stream = _encode_both(codec, image)
-            assert scalar_stream == fast_stream
+            _assert_stream_parity(scalar_stream, fast_stream)
             _assert_decodes_match(scalar_stream, codec.n_scans(scalar_stream))
 
     def test_all_ten_default_scans_present(self):
